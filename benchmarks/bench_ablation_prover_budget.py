@@ -1,0 +1,84 @@
+"""Ablation: the bounded prover's sampling budget.
+
+This reproduction replaces Dafny/Z3 with small-model enumeration plus
+sampling (DESIGN.md).  The knob is the budget: exhaustive low-bit
+coverage and random full-width samples.  The sweep characterizes the
+tradeoff on the paper's own lemma-customization example (§4.1.2):
+
+* validity: ``(x & 1) == (x % 2)`` must be *proved* at every budget;
+* refutation: ``(x & 3) == (x % 2)`` must be *refuted* at every budget
+  (counterexample search is what keeps bounded verification honest);
+* cost grows with the budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import fmt_table, record
+from repro.lang import types as ty
+from repro.lang.frontend import check_program
+from repro.verifier.prover import Prover, ProverConfig
+
+BUDGETS = [
+    ("tiny", ProverConfig(exhaustive_bits=2, random_samples=4)),
+    ("default", ProverConfig(exhaustive_bits=4, random_samples=32)),
+    ("wide", ProverConfig(exhaustive_bits=6, random_samples=128)),
+]
+
+
+def _goal(text: str):
+    program = check_program(
+        "level L { var x: uint32; void main() { assert " + text + "; } }"
+    )
+    return program.program.levels[0].methods[0].body.stmts[0].cond
+
+
+def test_ablation_prover_budget(benchmark):
+    valid = _goal("(x & 1) == (x % 2)")
+    invalid = _goal("(x & 3) == (x % 2)")
+    variables = {"x": ty.UINT32}
+
+    def default_run():
+        prover = Prover(BUDGETS[1][1])
+        assert prover.prove_valid(valid, variables).ok
+        assert not prover.prove_valid(invalid, variables).ok
+
+    benchmark(default_run)
+
+    rows = []
+    for name, config in BUDGETS:
+        prover = Prover(config)
+        t0 = time.perf_counter()
+        v1 = prover.prove_valid(valid, variables)
+        v2 = prover.prove_valid(invalid, variables)
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            [
+                name,
+                f"bits={config.exhaustive_bits}, "
+                f"samples={config.random_samples}",
+                v1.status,
+                v2.status,
+                v1.assignments_checked + v2.assignments_checked,
+                f"{elapsed * 1e3:.2f} ms",
+            ]
+        )
+        assert v1.ok, name
+        assert not v2.ok, name
+    lines = fmt_table(
+        ["budget", "config", "valid goal", "invalid goal",
+         "assignments", "time"],
+        rows,
+    )
+    lines += [
+        "",
+        "Refutations are sound at every budget (a counterexample is a "
+        "real counterexample); 'proved' verdicts are bounded — the "
+        "documented substitution for Z3's unbounded reasoning.",
+    ]
+    record(
+        "ablation_prover_budget",
+        "Ablation — bounded prover budget (Dafny/Z3 substitute)",
+        lines,
+    )

@@ -1,0 +1,30 @@
+"""The evaluation case studies (Table 1 plus the running example)."""
+
+from repro.casestudies import barrier, mcslock, pointers, queue, tsp
+from repro.casestudies.common import (  # noqa: F401
+    CaseStudy,
+    CaseStudyReport,
+    run_case_study,
+    sloc,
+)
+
+#: Table 1 of the paper, in its order.
+TABLE1 = {
+    "barrier": barrier.get,
+    "pointers": pointers.get,
+    "mcslock": mcslock.get,
+    "queue": queue.get,
+}
+
+#: All case studies, including the running example of section 2.
+ALL = {"tsp": tsp.get, **TABLE1}
+
+
+def load(name: str) -> CaseStudy:
+    """Load a case study by name."""
+    try:
+        return ALL[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown case study {name!r}; available: {sorted(ALL)}"
+        ) from None

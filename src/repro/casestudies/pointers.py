@@ -1,0 +1,76 @@
+"""The Pointers case study (§6.2).
+
+"The Pointers program writes via distinct pointers of the same type.
+The correctness of our refinement depends on our static alias analysis
+proving these different pointers do not alias.  Specifically, we prove
+that the program assigning values via two pointers refines a program
+assigning those values in the opposite order.  The automatic alias
+analysis reveals that the pointers cannot alias and thus that the
+reversed assignments result in the same state."
+
+Paper numbers: program 29 SLOC, recipe 7 SLOC, 2,216 generated SLOC.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.common import CaseStudy
+
+
+def _level(name: str, first: str, second: str) -> str:
+    return f"""
+level {name} {{
+  var a: uint32 := 0;
+  var b: uint32 := 0;
+  void main() {{
+    var p: ptr<uint32> := null;
+    var q: ptr<uint32> := null;
+    var ra: uint32 := 0;
+    var rb: uint32 := 0;
+    p := &a;
+    q := &b;
+    {first}
+    {second}
+    ra := a;
+    rb := b;
+    print_uint32(ra);
+    print_uint32(rb);
+  }}
+}}
+"""
+
+
+LEVELS = [
+    ("PointersImpl", _level("PointersImpl", "*p := 1;", "*q := 2;")),
+    (
+        "PointersReordered",
+        _level("PointersReordered", "*q := 2;", "*p := 1;"),
+    ),
+]
+
+RECIPES = [
+    (
+        "PointersProof",
+        "proof PointersProof {\n"
+        "  refinement PointersImpl PointersReordered\n"
+        "  weakening\n"
+        "  use_regions\n"
+        "}\n",
+    ),
+]
+
+
+def get() -> CaseStudy:
+    return CaseStudy(
+        name="pointers",
+        description=(
+            "writes via two distinct pointers refine the opposite order; "
+            "Steensgaard regions prove non-aliasing (sec. 6.2)"
+        ),
+        levels=LEVELS,
+        recipes=RECIPES,
+        paper_numbers={
+            "program_sloc": 29,
+            "recipe_sloc": 7,
+            "generated_sloc": 2216,
+        },
+    )

@@ -1,0 +1,102 @@
+"""The paper's running example (§2): a search for a good, but not
+necessarily optimal, traveling-salesman solution.
+
+The chain follows §2.2 exactly:
+
+* ``Implementation`` has the benign race: the first ``len < best_len``
+  guard reads ``best_len`` without holding the mutex.
+* ``ArbitraryGuard`` (Figure 3) relaxes that guard to the arbitrary
+  choice ``*``; the recipe (Figure 4) uses (nondeterministic) weakening.
+* ``BestLenSequential`` (Figure 5) upgrades the ``best_len`` update to a
+  TSO-bypassing ``::=`` assignment; the recipe (Figure 6) uses TSO
+  elimination with a mutex-based ownership predicate.
+
+Candidate solution lengths are derived deterministically from the seed
+argument (standing in for the paper's ``choose_random_solution``
+external method, which this reproduction cannot call into a real
+runtime for).
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.common import CaseStudy
+
+_WORKER = """
+  void worker(n: uint32) {{
+    var i: uint32 := 0;
+    var len: uint32 := 0;
+    while i < 2 {{
+      len := n + i;
+      if ({guard}) {{
+        lock(&mutex);
+        if (len < best_len) {{
+          best_len {assign} len;
+        }}
+        unlock(&mutex);
+      }}
+      i := i + 1;
+    }}
+  }}
+"""
+
+_MAIN = """
+  void main() {
+    var t: uint64 := 0;
+    var result: uint32 := 0;
+    initialize_mutex(&mutex);
+    t := create_thread worker(3);
+    join t;
+    lock(&mutex);
+    result := best_len;
+    unlock(&mutex);
+    print_uint32(result);
+  }
+"""
+
+
+def _level(name: str, guard: str, assign: str) -> str:
+    return (
+        f"level {name} {{\n"
+        "  var best_len: uint32 := 255;\n"
+        "  var mutex: uint64;\n"
+        + _WORKER.format(guard=guard, assign=assign)
+        + _MAIN
+        + "}\n"
+    )
+
+
+LEVELS = [
+    ("Implementation", _level("Implementation", "len < best_len", ":=")),
+    ("ArbitraryGuard", _level("ArbitraryGuard", "*", ":=")),
+    ("BestLenSequential", _level("BestLenSequential", "*", "::=")),
+]
+
+RECIPES = [
+    (
+        "ImplementationRefinesArbitraryGuard",
+        "proof ImplementationRefinesArbitraryGuard {\n"
+        "  refinement Implementation ArbitraryGuard\n"
+        "  nondet_weakening\n"
+        "}\n",
+    ),
+    (
+        "ArbitraryGuardRefinesBestLenSequential",
+        "proof ArbitraryGuardRefinesBestLenSequential {\n"
+        "  refinement ArbitraryGuard BestLenSequential\n"
+        '  tso_elim best_len "mutex == $me"\n'
+        "}\n",
+    ),
+]
+
+
+def get() -> CaseStudy:
+    return CaseStudy(
+        name="tsp",
+        description=(
+            "running example (sec. 2): racy best-length search refined "
+            "through arbitrary-guard weakening and TSO elimination"
+        ),
+        levels=LEVELS,
+        recipes=RECIPES,
+        paper_numbers={},
+    )

@@ -1,0 +1,189 @@
+"""Command-line interface: the ``armada`` tool.
+
+Mirrors the workflow of Figure 1:
+
+* ``armada verify FILE``     — run every proof recipe in an Armada file
+* ``armada check FILE``      — parse/resolve/type-check only
+* ``armada compile FILE``    — emit ClightTSO-flavoured C for a level
+* ``armada run FILE``        — execute a level on the reference runtime
+* ``armada casestudy NAME``  — verify one of the paper's case studies
+* ``armada strategies``      — list the registered proof strategies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ArmadaError
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.lang.frontend import check_program
+
+    source = open(args.file).read()
+    checked = check_program(source, args.file)
+    print(f"checked {len(checked.program.levels)} level(s), "
+          f"{len(checked.program.proofs)} proof(s)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.proofs.engine import verify_source
+
+    source = open(args.file).read()
+    outcome = verify_source(
+        source, args.file, max_states=args.max_states,
+        validate_refinement=args.validate,
+    )
+    for result in outcome.outcomes:
+        status = "verified" if result.success else "FAILED"
+        print(
+            f"{result.proof_name} [{result.strategy}]: {status} "
+            f"({result.lemma_count} lemmas, "
+            f"{result.generated_sloc} generated SLOC, "
+            f"{result.elapsed_seconds:.2f}s)"
+        )
+        if result.error:
+            print(f"  {result.error}")
+    if outcome.chain:
+        print("refinement chain:", " -> ".join(outcome.chain))
+    return 0 if outcome.success else 1
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compiler.cbackend import compile_to_c
+    from repro.compiler.pybackend import compile_to_python
+    from repro.lang.frontend import check_program
+
+    source = open(args.file).read()
+    checked = check_program(source, args.file)
+    level = args.level or checked.program.levels[0].name
+    ctx = checked.contexts.get(level)
+    if ctx is None:
+        print(f"no level named {level}", file=sys.stderr)
+        return 1
+    if args.backend == "c":
+        print(compile_to_c(ctx))
+    else:
+        print(compile_to_python(ctx, args.backend).source)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.lang.frontend import check_program
+    from repro.machine.translator import translate_level
+    from repro.runtime.interpreter import run_level
+
+    source = open(args.file).read()
+    checked = check_program(source, args.file)
+    level = args.level or checked.program.levels[0].name
+    machine = translate_level(checked.contexts[level])
+    result = run_level(machine, seed=args.seed, max_steps=args.max_steps)
+    print(f"termination: {result.termination_kind} "
+          f"after {result.steps_taken} steps")
+    print("log:", list(result.log))
+    return 0 if result.termination_kind == "normal" else 1
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.casestudies import ALL, load, run_case_study
+
+    if args.name == "all":
+        names = list(ALL)
+    else:
+        names = [args.name]
+    failed = False
+    for name in names:
+        study = load(name)
+        report = run_case_study(study)
+        status = "verified" if report.verified else "FAILED"
+        print(
+            f"{name}: {status} — impl {study.implementation_sloc} SLOC, "
+            f"recipes {report.total_recipe_sloc} SLOC, generated "
+            f"{report.total_generated_sloc} SLOC"
+        )
+        for row in report.rows():
+            mark = "ok" if row["verified"] else "FAIL"
+            print(
+                f"  [{mark}] {row['proof']} ({row['strategy']}): recipe "
+                f"{row['recipe_sloc']} SLOC -> {row['generated_sloc']} "
+                f"generated, {row['lemmas']} lemmas, {row['seconds']}s"
+            )
+            if row["error"]:
+                print(f"        {row['error']}")
+        failed = failed or not report.verified
+    return 1 if failed else 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    from repro.strategies.registry import available_strategies
+
+    for name in available_strategies():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="armada",
+        description="Armada reproduction: low-effort verification of "
+        "high-performance concurrent programs (PLDI 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse and type-check a file")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("verify", help="run every proof recipe in a file")
+    p.add_argument("file")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument(
+        "--validate", choices=("auto", "always", "never"), default="auto",
+        help="whole-program bounded refinement validation policy",
+    )
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("compile", help="compile a level")
+    p.add_argument("file")
+    p.add_argument("--level", default=None)
+    p.add_argument(
+        "--backend", choices=("c", "sc", "conservative", "tso"),
+        default="c",
+    )
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("run", help="execute a level on the reference "
+                                   "runtime")
+    p.add_argument("file")
+    p.add_argument("--level", default=None)
+    p.add_argument("--seed", type=int, default=None,
+                   help="random scheduler seed (default: round-robin)")
+    p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("casestudy", help="verify a paper case study")
+    p.add_argument("name", help="tsp|barrier|pointers|mcslock|queue|all")
+    p.set_defaults(func=_cmd_casestudy)
+
+    p = sub.add_parser("strategies", help="list proof strategies")
+    p.set_defaults(func=_cmd_strategies)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ArmadaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Compiler back ends: ClightTSO-flavoured C (§5) and executable
+Python (SC / TSO-faithful modes, the Figure 12 compilation paths)."""
+
+from repro.compiler.cbackend import compile_to_c  # noqa: F401
+from repro.compiler.pybackend import (  # noqa: F401
+    CompiledProgram,
+    compile_to_python,
+)

@@ -1,0 +1,16 @@
+"""Explicit-state bounded model checking: exploration, invariants,
+and refinement (simulation) checking."""
+
+from repro.explore.explorer import (  # noqa: F401
+    ExplorationResult,
+    Explorer,
+    InvariantViolation,
+    final_logs,
+)
+from repro.explore.refinement_check import (  # noqa: F401
+    RefinementResult,
+    check_refinement,
+    log_equal_relation,
+    log_prefix_relation,
+    with_ub_conjunct,
+)

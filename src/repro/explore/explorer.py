@@ -1,0 +1,131 @@
+"""Explicit-state exploration of Armada state machines.
+
+The explorer enumerates every reachable state of a translated level
+under all thread interleavings (including x86-TSO store-buffer drain
+transitions), honouring atomic-region scheduling.  It is the bounded
+model checker that discharges whole-program obligations in this
+reproduction (see DESIGN.md: it plays the role Dafny/Z3 play in the
+paper's toolchain, with bounded instead of unbounded guarantees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.machine.program import StateMachine, Transition
+from repro.machine.state import ProgramState, TERM_UB
+
+
+@dataclass
+class InvariantViolation:
+    """A reachable state where a checked invariant failed."""
+
+    state: ProgramState
+    invariant_name: str
+    trace: tuple[Transition, ...] = ()
+
+
+@dataclass
+class ExplorationResult:
+    """Summary of a full (or budget-capped) exploration."""
+
+    states_visited: int = 0
+    transitions_taken: int = 0
+    final_outcomes: set = field(default_factory=set)
+    ub_reasons: list[str] = field(default_factory=list)
+    assert_failures: int = 0
+    violations: list[InvariantViolation] = field(default_factory=list)
+    hit_state_budget: bool = False
+
+    @property
+    def has_ub(self) -> bool:
+        return bool(self.ub_reasons)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.hit_state_budget
+
+
+class Explorer:
+    """Breadth-first enumeration of the reachable state space."""
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        max_states: int = 2_000_000,
+    ) -> None:
+        self.machine = machine
+        self.max_states = max_states
+
+    def reachable_states(
+        self, start: ProgramState | None = None
+    ) -> Iterable[ProgramState]:
+        """Yield every reachable state (deduplicated), BFS order."""
+        machine = self.machine
+        initial = start if start is not None else machine.initial_state()
+        seen = {initial}
+        frontier = [initial]
+        while frontier:
+            state = frontier.pop()
+            yield state
+            if len(seen) > self.max_states:
+                return
+            for transition in machine.enabled_transitions(state):
+                nxt = machine.next_state(state, transition)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+
+    def explore(
+        self,
+        invariants: dict[str, Callable[[ProgramState], bool]] | None = None,
+        start: ProgramState | None = None,
+    ) -> ExplorationResult:
+        """Explore exhaustively, checking *invariants* at every state."""
+        machine = self.machine
+        initial = start if start is not None else machine.initial_state()
+        result = ExplorationResult()
+        seen = {initial}
+        frontier = [initial]
+        while frontier:
+            state = frontier.pop()
+            result.states_visited += 1
+            if invariants:
+                for name, predicate in invariants.items():
+                    try:
+                        holds = predicate(state)
+                    except Exception:  # predicate crashed: count as failure
+                        holds = False
+                    if not holds:
+                        result.violations.append(
+                            InvariantViolation(state, name)
+                        )
+            if state.termination is not None:
+                result.final_outcomes.add(
+                    (state.termination.kind, state.log)
+                )
+                if state.termination.kind == TERM_UB:
+                    result.ub_reasons.append(state.termination.detail)
+                if state.termination.kind == "assert_failure":
+                    result.assert_failures += 1
+                continue
+            transitions = machine.enabled_transitions(state)
+            if not transitions:
+                result.final_outcomes.add(("deadlock", state.log))
+                continue
+            if len(seen) > self.max_states:
+                result.hit_state_budget = True
+                return result
+            for transition in transitions:
+                result.transitions_taken += 1
+                nxt = machine.next_state(state, transition)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return result
+
+
+def final_logs(machine: StateMachine, max_states: int = 2_000_000) -> set:
+    """All (termination kind, log) outcomes of a machine's behaviours."""
+    return Explorer(machine, max_states).explore().final_outcomes

@@ -1,0 +1,188 @@
+"""Refinement (simulation) checking between two state machines.
+
+Implements the paper's refinement notion (§3.1.3): "An implementation
+refines the specification if every finite behavior of the implementation
+may, with the addition of stuttering steps, simulate a finite behavior
+of the specification where corresponding state pairs are in R."
+
+The check is the classical subset construction for stuttering trace
+inclusion over finite systems: we pair each reachable low-level state
+with the *set* of high-level states it might correspond to.  On each
+low-level transition, the high-level set is advanced through its
+bounded stutter closure and filtered by R; an empty set is a refinement
+counterexample.
+
+R is automatically strengthened with the undefined-behaviour conjunct of
+§3.2.3: "if the low-level program exhibits undefined behavior, then the
+high-level program does."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.machine.program import StateMachine
+from repro.machine.state import ProgramState, TERM_UB
+
+#: A refinement relation: R(low_state, high_state) -> bool.
+RefinementRelation = Callable[[ProgramState, ProgramState], bool]
+
+
+def log_prefix_relation(low: ProgramState, high: ProgramState) -> bool:
+    """The default R: the low-level console log is a prefix of the
+    high-level one while running, and equal at normal termination
+    (the paper's running-example relation, §2)."""
+    if low.termination is not None and low.termination.kind == "normal":
+        if not (high.termination is not None
+                and high.termination.kind == "normal"):
+            return False
+        return low.log == high.log
+    n = len(low.log)
+    return high.log[:n] == low.log or low.log[: len(high.log)] == high.log
+
+
+def log_equal_relation(low: ProgramState, high: ProgramState) -> bool:
+    """A stricter R: logs agree exactly at every corresponding pair."""
+    return low.log == high.log
+
+
+def with_ub_conjunct(relation: RefinementRelation) -> RefinementRelation:
+    """Strengthen R with the automatic UB conjunct (§3.2.3)."""
+
+    def strengthened(low: ProgramState, high: ProgramState) -> bool:
+        low_ub = (
+            low.termination is not None and low.termination.kind == TERM_UB
+        )
+        if low_ub:
+            high_ub = (
+                high.termination is not None
+                and high.termination.kind == TERM_UB
+            )
+            if not high_ub:
+                return False
+            return True
+        return relation(low, high)
+
+    return strengthened
+
+
+@dataclass
+class RefinementCounterexample:
+    low_state: ProgramState
+    description: str
+    #: The low-level transition sequence from the initial state to the
+    #: unsimulatable step (inclusive), for diagnosis.
+    trace: tuple = ()
+
+    def format_trace(self) -> str:
+        if not self.trace:
+            return "(no trace)"
+        return " ; ".join(t.describe() for t in self.trace)
+
+
+@dataclass
+class RefinementResult:
+    holds: bool
+    product_states: int = 0
+    counterexample: RefinementCounterexample | None = None
+    hit_budget: bool = False
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _stutter_closure(
+    machine: StateMachine,
+    states: frozenset[ProgramState],
+    max_stutter: int,
+) -> frozenset[ProgramState]:
+    """All states reachable from *states* in at most *max_stutter*
+    high-level steps (including zero)."""
+    closure = set(states)
+    frontier = list(states)
+    for _ in range(max_stutter):
+        new_frontier = []
+        for state in frontier:
+            if state.termination is not None:
+                continue
+            for transition in machine.enabled_transitions(state):
+                nxt = machine.next_state(state, transition)
+                if nxt not in closure:
+                    closure.add(nxt)
+                    new_frontier.append(nxt)
+        if not new_frontier:
+            break
+        frontier = new_frontier
+    return frozenset(closure)
+
+
+def check_refinement(
+    low: StateMachine,
+    high: StateMachine,
+    relation: RefinementRelation | None = None,
+    max_stutter: int = 8,
+    max_product_states: int = 1_000_000,
+) -> RefinementResult:
+    """Check that *low* refines *high* under *relation* (default: the
+    log-prefix relation), with the UB conjunct added automatically."""
+    base = relation if relation is not None else log_prefix_relation
+    R = with_ub_conjunct(base)
+
+    low_init = low.initial_state()
+    high_init = high.initial_state()
+    high_universe = _stutter_closure(
+        high, frozenset([high_init]), max_stutter
+    )
+    initial_set = frozenset(h for h in high_universe if R(low_init, h))
+    if not initial_set:
+        return RefinementResult(
+            holds=False,
+            counterexample=RefinementCounterexample(
+                low_init, "initial states are not related by R"
+            ),
+        )
+
+    seen: set[tuple[ProgramState, frozenset]] = set()
+    frontier: list[tuple[ProgramState, frozenset, tuple]] = [
+        (low_init, initial_set, ())
+    ]
+    seen.add((low_init, initial_set))
+    product_states = 0
+
+    while frontier:
+        low_state, high_set, trace = frontier.pop()
+        product_states += 1
+        if product_states > max_product_states:
+            return RefinementResult(
+                holds=False, product_states=product_states, hit_budget=True,
+                counterexample=RefinementCounterexample(
+                    low_state, "product state budget exhausted", trace
+                ),
+            )
+        if low_state.termination is not None:
+            continue
+        for transition in low.enabled_transitions(low_state):
+            next_low = low.next_state(low_state, transition)
+            closure = _stutter_closure(high, high_set, max_stutter)
+            next_high = frozenset(
+                h for h in closure if R(next_low, h)
+            )
+            if not next_high:
+                return RefinementResult(
+                    holds=False,
+                    product_states=product_states,
+                    counterexample=RefinementCounterexample(
+                        next_low,
+                        "no high-level state simulates low-level "
+                        f"transition {transition.describe()}",
+                        trace + (transition,),
+                    ),
+                )
+            key = (next_low, next_high)
+            if key not in seen:
+                seen.add(key)
+                frontier.append(
+                    (next_low, next_high, trace + (transition,))
+                )
+    return RefinementResult(holds=True, product_states=product_states)

@@ -1,0 +1,9 @@
+"""The Armada language front end: lexer, parser, types, resolver, checker."""
+
+from repro.lang.frontend import (  # noqa: F401
+    CheckedProgram,
+    check_core_level,
+    check_level,
+    check_program,
+)
+from repro.lang.parser import parse_expression, parse_program  # noqa: F401

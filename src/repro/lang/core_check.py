@@ -1,0 +1,173 @@
+"""Core-Armada restriction checks (§3.1.1).
+
+The implementation level (level 0) must stay within the compilable core
+of the language: fixed-width integers, pointers, structs and arrays,
+structured control flow, allocation, and threads.  "The compiler will
+reject programs outside this core."  This module is that rejection.
+
+It also enforces the rule that "each statement may have at most one
+shared-location access, since the hardware does not support atomic
+performance of multiple shared-location accesses."
+"""
+
+from __future__ import annotations
+
+from repro.errors import CoreViolation
+from repro.lang import asts as ast
+from repro.lang import types as ty
+from repro.lang.resolver import LevelContext
+
+
+def _core_type(t: ty.Type, loc, what: str) -> None:
+    if not (t.is_core() or isinstance(t, ty.VoidType)):
+        raise CoreViolation(f"{what} has non-compilable type {t}", loc)
+
+
+def count_shared_accesses(
+    expr: ast.Expr, ctx: LevelContext, method: str
+) -> int:
+    """Count accesses to shared locations in *expr*.
+
+    Shared locations are non-ghost global variables, pointer dereferences
+    and pointer/array indexing through the heap, and locals whose address
+    is taken (which therefore live in shared memory).  Taking an address
+    (``&x``) is not an access.
+    """
+    count = 0
+    if isinstance(expr, ast.AddressOf):
+        # &x reads no memory; &a[i] evaluates i only.
+        inner = expr.operand
+        if isinstance(inner, ast.Index):
+            return count_shared_accesses(inner.index, ctx, method)
+        if isinstance(inner, ast.FieldAccess):
+            return count_shared_accesses(inner.base, ctx, method) \
+                if not isinstance(inner.base, ast.Var) else 0
+        return 0
+    if isinstance(expr, ast.Var):
+        g = ctx.globals.get(expr.name)
+        if g is not None and not g.ghost:
+            return 1
+        info = ctx.local(method, expr.name)
+        if info is not None and info.address_taken:
+            return 1
+        return 0
+    if isinstance(expr, ast.Deref):
+        return 1 + count_shared_accesses(expr.operand, ctx, method)
+    if isinstance(expr, ast.Index):
+        base_type = expr.base.type
+        base_count = count_shared_accesses(expr.base, ctx, method)
+        index_count = count_shared_accesses(expr.index, ctx, method)
+        if isinstance(base_type, ty.PtrType):
+            return 1 + base_count + index_count
+        return base_count + index_count
+    for child in ast.child_exprs(expr):
+        count += count_shared_accesses(child, ctx, method)
+    return count
+
+
+class CoreChecker:
+    """Checks that a resolved, type-checked level is core Armada."""
+
+    def __init__(self, ctx: LevelContext) -> None:
+        self._ctx = ctx
+
+    def check(self) -> None:
+        level = self._ctx.level
+        for g in level.globals:
+            if g.ghost:
+                raise CoreViolation(
+                    f"ghost variable {g.name} is not compilable", g.loc
+                )
+            _core_type(g.var_type, g.loc, f"global {g.name}")
+        for method in level.methods:
+            self._check_method(method)
+
+    def _check_method(self, method: ast.MethodDecl) -> None:
+        _core_type(method.return_type, method.loc,
+                   f"return type of {method.name}")
+        for p in method.params:
+            _core_type(p.type, p.loc, f"parameter {p.name}")
+        if method.is_extern or method.body is None:
+            return
+        if method.spec.requires or method.spec.ensures:
+            # Specs on compiled methods are erased; they are allowed but
+            # only as documentation on core levels.
+            pass
+        self._check_stmt(method, method.body)
+
+    def _check_stmt(self, method: ast.MethodDecl, stmt: ast.Stmt) -> None:
+        name = method.name
+        if isinstance(stmt, ast.SomehowStmt):
+            raise CoreViolation(
+                "somehow statements are not compilable", stmt.loc
+            )
+        if isinstance(stmt, (ast.ExplicitYieldBlock, ast.YieldStmt,
+                             ast.AtomicBlock)):
+            raise CoreViolation(
+                "atomicity annotations are not compilable", stmt.loc
+            )
+        if isinstance(stmt, ast.AssumeStmt):
+            raise CoreViolation(
+                "assume (enablement conditions) are not compilable", stmt.loc
+            )
+        if isinstance(stmt, ast.VarDeclStmt):
+            if stmt.ghost:
+                raise CoreViolation(
+                    f"ghost local {stmt.name} is not compilable", stmt.loc
+                )
+            _core_type(stmt.var_type, stmt.loc, f"local {stmt.name}")
+        for expr in ast.stmt_exprs(stmt):
+            self._check_expr(expr, name)
+        if isinstance(stmt, ast.AssignStmt) and not stmt.tso_bypass:
+            accesses = sum(
+                count_shared_accesses(e, self._ctx, name)
+                for e in ast.stmt_exprs(stmt)
+            )
+            if accesses > 1:
+                raise CoreViolation(
+                    f"statement performs {accesses} shared-location "
+                    "accesses; the hardware supports at most one per "
+                    "statement (§3.1.1)",
+                    stmt.loc,
+                )
+        if isinstance(stmt, ast.AssignStmt) and stmt.tso_bypass:
+            raise CoreViolation(
+                "TSO-bypassing assignment (::=) is not compilable", stmt.loc
+            )
+        for child in ast.child_stmts(stmt):
+            self._check_stmt(method, child)
+
+    def _check_expr(self, expr: ast.Expr, method: str) -> None:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Nondet):
+                raise CoreViolation(
+                    "nondeterministic '*' is not compilable", node.loc
+                )
+            if isinstance(node, (ast.Old, ast.Allocated, ast.AllocatedArray)):
+                raise CoreViolation(
+                    f"{type(node).__name__.lower()}() is specification-only",
+                    node.loc,
+                )
+            if isinstance(node, (ast.SeqLit, ast.SetLit, ast.Quantifier)):
+                raise CoreViolation(
+                    "ghost collection expressions are not compilable",
+                    node.loc,
+                )
+            if isinstance(node, ast.Call):
+                m = self._ctx.methods.get(node.func)
+                if m is None:
+                    raise CoreViolation(
+                        f"call to undeclared (ghost) function {node.func} "
+                        "is not compilable",
+                        node.loc,
+                    )
+            if isinstance(node, ast.MetaVar):
+                raise CoreViolation(
+                    f"meta variable {node.name} is specification-only",
+                    node.loc,
+                )
+
+
+def check_core(ctx: LevelContext) -> None:
+    """Raise :class:`CoreViolation` if the level is not core Armada."""
+    CoreChecker(ctx).check()

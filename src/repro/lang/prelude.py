@@ -1,0 +1,72 @@
+"""The standard prelude of external methods available to every level.
+
+§3.1.4: "Armada supports declaring and calling external methods. An
+external method models a runtime, library, or operating-system function;
+or a hardware instruction the compiler supports, like compare-and-swap."
+
+Every level implicitly imports these declarations.  The state-machine
+translation gives each of them concurrency-aware semantics directly
+(they are the analogue of the developer-supplied "body" models of the
+paper); the C backend emits calls to a small runtime shim.
+
+A level may re-declare any of these names to override the model.
+"""
+
+from __future__ import annotations
+
+from repro.lang import asts as ast
+from repro.lang import types as ty
+
+_U64 = ty.UINT64
+_U32 = ty.UINT32
+
+
+def _extern(name: str, params: list[tuple[str, ty.Type]],
+            return_type: ty.Type = ty.VOID) -> ast.MethodDecl:
+    return ast.MethodDecl(
+        name=name,
+        params=[ast.Param(n, t) for n, t in params],
+        return_type=return_type,
+        body=None,
+        is_extern=True,
+    )
+
+
+def prelude_methods() -> list[ast.MethodDecl]:
+    """Fresh AST declarations for the built-in external methods."""
+    return [
+        # Mutual exclusion built on hardware primitives.  The mutex word
+        # holds the owning thread id (0 = free); the state machine models
+        # lock as an atomic test-and-set that blocks until free, matching
+        # a futex-style OS lock.
+        _extern("initialize_mutex", [("m", ty.PtrType(_U64))]),
+        _extern("lock", [("m", ty.PtrType(_U64))]),
+        _extern("unlock", [("m", ty.PtrType(_U64))]),
+        # Hardware atomics (x86): lock cmpxchg, lock xchg, lock xadd, mfence.
+        # Atomic read-modify-writes drain the store buffer, per x86-TSO.
+        _extern(
+            "compare_and_swap",
+            [("p", ty.PtrType(_U64)), ("expected", _U64), ("desired", _U64)],
+            ty.BOOL,
+        ),
+        _extern(
+            "atomic_exchange",
+            [("p", ty.PtrType(_U64)), ("value", _U64)],
+            _U64,
+        ),
+        _extern(
+            "atomic_fetch_add",
+            [("p", ty.PtrType(_U64)), ("delta", _U64)],
+            _U64,
+        ),
+        _extern("fence", []),
+        # Output: appends to the externally visible console log (the ghost
+        # `$log` sequence), the state the default refinement relation R
+        # compares.
+        _extern("print_uint64", [("n", _U64)]),
+        _extern("print_uint32", [("n", _U32)]),
+    ]
+
+
+#: Names with special-cased step semantics in the state machine.
+PRELUDE_NAMES = frozenset(m.name for m in prelude_methods())

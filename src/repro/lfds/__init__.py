@@ -1,0 +1,14 @@
+"""Pure-Python liblfds substrate: the unverified baseline queue of
+Figure 12, in bitmask and modulo variants, plus benchmark harnesses."""
+
+from repro.lfds.benchmark import (  # noqa: F401
+    ThroughputResult,
+    single_thread_throughput,
+    two_thread_throughput,
+)
+from repro.lfds.queue_bss import (  # noqa: F401
+    BoundedSPSCQueue,
+    BoundedSPSCQueueModulo,
+    QueueEmptyError,
+    QueueFullError,
+)

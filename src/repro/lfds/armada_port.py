@@ -1,0 +1,105 @@
+"""The verified Armada port of the liblfds queue, for Figure 12.
+
+This is the §6.4 artifact on its performance side: the same bounded
+SPSC ring written in core Armada ("uses modulo operators instead of
+bitmask operators, to avoid invoking bit-vector reasoning"), compiled
+by the two back ends:
+
+* the SC backend — the paper's "Armada (GCC)" bar;
+* the TSO-faithful backend — the paper's "Armada (CompCertTSO)" bar.
+
+The harness drives the compiled module exactly like
+:func:`repro.lfds.benchmark.single_thread_throughput` drives the
+native-Python liblfds port, so the four Figure 12 bars are comparable.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.compiler.pybackend import CompiledProgram, compile_to_python
+from repro.lang.frontend import check_level
+from repro.lfds.benchmark import ThroughputResult
+
+#: The Armada source of the queue port (core subset; one shared access
+#: per statement, fences at the liblfds barrier points).
+ARMADA_QUEUE_SOURCE = """
+level ArmadaQueue {
+  var elements: uint64[512];
+  var read_index: uint32 := 0;
+  var write_index: uint32 := 0;
+
+  uint32 try_enqueue(v: uint64) {
+    var wi: uint32 := 0;
+    var ri: uint32 := 0;
+    var nxt: uint32 := 0;
+    wi := write_index;
+    nxt := (wi + 1) % 512;
+    ri := read_index;
+    if (nxt == ri) {
+      return 0;
+    }
+    elements[wi] := v;
+    fence();
+    write_index := nxt;
+    return 1;
+  }
+
+  uint64 try_dequeue() {
+    var ri: uint32 := 0;
+    var wi: uint32 := 0;
+    var x: uint64 := 0;
+    ri := read_index;
+    wi := write_index;
+    if (ri == wi) {
+      return 0;
+    }
+    x := elements[ri];
+    fence();
+    read_index := (ri + 1) % 512;
+    return x;
+  }
+
+  void main() {
+    var ok: uint32 := 0;
+    var x: uint64 := 0;
+    ok := try_enqueue(41);
+    ok := try_enqueue(42);
+    x := try_dequeue();
+    print_uint64(x);
+    x := try_dequeue();
+    print_uint64(x);
+  }
+}
+"""
+
+QUEUE_SIZE = 512
+
+
+def compile_port(mode: str) -> CompiledProgram:
+    """Compile the Armada queue with the given backend mode
+    (``"sc"`` = GCC analogue, ``"tso"`` = CompCertTSO analogue)."""
+    ctx = check_level(ARMADA_QUEUE_SOURCE)
+    return compile_to_python(ctx, mode)
+
+
+def throughput(mode: str, operations: int = 100_000) -> ThroughputResult:
+    """Figure 12 harness: alternate enqueue and dequeue bursts through
+    the compiled Armada queue."""
+    namespace = compile_port(mode).load()
+    try_enqueue = namespace["try_enqueue"]
+    try_dequeue = namespace["try_dequeue"]
+    burst = QUEUE_SIZE - 1
+    completed = 0
+    value = 0
+    started = time.perf_counter()
+    while completed < operations:
+        n = min(burst, operations - completed)
+        for _ in range(n):
+            try_enqueue(value)
+            value += 1
+        for _ in range(n):
+            try_dequeue()
+        completed += 2 * n
+    elapsed = time.perf_counter() - started
+    return ThroughputResult(completed, elapsed)

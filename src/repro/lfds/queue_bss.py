@@ -1,0 +1,135 @@
+"""Pure-Python port of the liblfds 7.1.1 bounded single-producer
+single-consumer queue (``lfds711_queue_bounded_singleproducer_
+singleconsumer``), the unverified baseline of Figure 12.
+
+The algorithm is the classic power-of-two ring with separate read and
+write indices.  liblfds masks indices with ``size - 1``; the Armada
+port of §6.4 "uses modulo operators instead of bitmask operators, to
+avoid invoking bit-vector reasoning", so we provide both variants
+(the paper's *liblfds* and *liblfds-modulo* bars).
+
+On x86-TSO the element store becomes visible before the index store
+(FIFO store buffers), which is what makes the algorithm correct with
+only compiler barriers; in CPython the GIL provides at least that much
+ordering, so the port is faithful to the algorithm's structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class QueueFullError(Exception):
+    """Raised by checked enqueue on a full queue."""
+
+
+class QueueEmptyError(Exception):
+    """Raised by checked dequeue on an empty queue."""
+
+
+class BoundedSPSCQueue:
+    """The liblfds-style bounded SPSC queue, bitmask variant.
+
+    ``size`` must be a power of two.  One thread may enqueue and one
+    (other) thread may dequeue concurrently, with no locks.
+    """
+
+    __slots__ = ("_elements", "_mask", "_read_index", "_write_index",
+                 "_size")
+
+    def __init__(self, size: int) -> None:
+        if size < 2 or size & (size - 1):
+            raise ValueError("queue size must be a power of two >= 2")
+        self._size = size
+        self._elements: list[Any] = [None] * size
+        self._mask = size - 1
+        self._read_index = 0
+        self._write_index = 0
+
+    # -- liblfds-style unchecked operations ------------------------------
+
+    def try_enqueue(self, value: Any) -> bool:
+        """Producer side: returns False when the ring is full."""
+        write_index = self._write_index
+        next_index = (write_index + 1) & self._mask
+        if next_index == self._read_index:
+            return False
+        self._elements[write_index] = value
+        # On x86-TSO the store buffer is FIFO, so the element write
+        # above becomes visible before the index publication below.
+        self._write_index = next_index
+        return True
+
+    def try_dequeue(self) -> tuple[bool, Any]:
+        """Consumer side: returns (False, None) when empty."""
+        read_index = self._read_index
+        if read_index == self._write_index:
+            return False, None
+        value = self._elements[read_index]
+        self._read_index = (read_index + 1) & self._mask
+        return True, value
+
+    # -- checked wrappers -------------------------------------------------
+
+    def enqueue(self, value: Any) -> None:
+        if not self.try_enqueue(value):
+            raise QueueFullError
+
+    def dequeue(self) -> Any:
+        ok, value = self.try_dequeue()
+        if not ok:
+            raise QueueEmptyError
+        return value
+
+    # -- introspection (single-threaded use only) --------------------------
+
+    def __len__(self) -> int:
+        return (self._write_index - self._read_index) & self._mask
+
+    @property
+    def capacity(self) -> int:
+        """Usable capacity (one slot is sacrificed to distinguish full
+        from empty, as in liblfds)."""
+        return self._size - 1
+
+    def is_empty(self) -> bool:
+        return self._read_index == self._write_index
+
+    def is_full(self) -> bool:
+        return ((self._write_index + 1) & self._mask) == self._read_index
+
+
+class BoundedSPSCQueueModulo(BoundedSPSCQueue):
+    """The modulo variant (*liblfds-modulo*): identical except indices
+    advance with ``% size`` instead of ``& (size - 1)``.  This is the
+    arithmetic the verified Armada port uses (§6.4)."""
+
+    __slots__ = ()
+
+    def __init__(self, size: int) -> None:
+        # Modulo arithmetic does not require a power of two, but we keep
+        # the restriction so the two variants are comparable.
+        super().__init__(size)
+
+    def try_enqueue(self, value: Any) -> bool:
+        write_index = self._write_index
+        next_index = (write_index + 1) % self._size
+        if next_index == self._read_index:
+            return False
+        self._elements[write_index] = value
+        self._write_index = next_index
+        return True
+
+    def try_dequeue(self) -> tuple[bool, Any]:
+        read_index = self._read_index
+        if read_index == self._write_index:
+            return False, None
+        value = self._elements[read_index]
+        self._read_index = (read_index + 1) % self._size
+        return True, value
+
+    def __len__(self) -> int:
+        return (self._write_index - self._read_index) % self._size
+
+    def is_full(self) -> bool:
+        return ((self._write_index + 1) % self._size) == self._read_index

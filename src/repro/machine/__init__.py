@@ -1,0 +1,19 @@
+"""Small-step state-machine semantics for Armada programs (§3.2)."""
+
+from repro.machine.program import (  # noqa: F401
+    DomainConfig,
+    PcInfo,
+    StateMachine,
+    Transition,
+)
+from repro.machine.state import (  # noqa: F401
+    Frame,
+    ProgramState,
+    TERM_ASSERT,
+    TERM_NORMAL,
+    TERM_UB,
+    Termination,
+    ThreadState,
+    UBSignal,
+)
+from repro.machine.translator import translate_level  # noqa: F401

@@ -1,0 +1,92 @@
+"""A small persistent (immutable, hashable) map used throughout the
+state machine.
+
+The explicit-state explorer hashes whole program states, so every state
+component must be hashable and comparisons must be structural.  States
+are small (a handful of threads and a few dozen memory cells), so a
+copy-on-write dict with a cached hash is the right tradeoff — no need
+for a HAMT.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class PMap:
+    """Immutable hashable mapping with copy-on-write updates."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: dict | None = None) -> None:
+        self._items: dict = dict(items) if items else {}
+        self._hash: int | None = None
+
+    @classmethod
+    def _wrap(cls, items: dict) -> "PMap":
+        pm = cls.__new__(cls)
+        pm._items = items
+        pm._hash = None
+        return pm
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._items.get(key, default)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._items[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._items
+
+    def set(self, key: Any, value: Any) -> "PMap":
+        if key in self._items and self._items[key] == value:
+            return self
+        items = dict(self._items)
+        items[key] = value
+        return PMap._wrap(items)
+
+    def set_many(self, updates: dict) -> "PMap":
+        if not updates:
+            return self
+        items = dict(self._items)
+        items.update(updates)
+        return PMap._wrap(items)
+
+    def remove(self, key: Any) -> "PMap":
+        if key not in self._items:
+            return self
+        items = dict(self._items)
+        del items[key]
+        return PMap._wrap(items)
+
+    def keys(self):
+        return self._items.keys()
+
+    def values(self):
+        return self._items.values()
+
+    def items(self):
+        return self._items.items()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PMap):
+            return self._items == other._items
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._items.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in self._items.items())
+        return f"pmap({{{inner}}})"
+
+
+EMPTY_PMAP = PMap()

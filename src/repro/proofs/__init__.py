@@ -1,0 +1,23 @@
+"""Proof generation framework: artifacts, lemma library, and engine."""
+
+from repro.proofs.artifacts import Lemma, ProofScript  # noqa: F401
+
+__all__ = [
+    "ChainOutcome",
+    "Lemma",
+    "ProofEngine",
+    "ProofOutcome",
+    "ProofScript",
+    "verify_source",
+]
+
+
+def __getattr__(name):
+    # The engine imports the strategy registry, which imports this
+    # package for the artifact types; load it lazily to break the cycle.
+    if name in ("ChainOutcome", "ProofEngine", "ProofOutcome",
+                "verify_source"):
+        from repro.proofs import engine
+
+        return getattr(engine, name)
+    raise AttributeError(name)

@@ -1,0 +1,298 @@
+"""The proof engine: runs recipes end to end (Figure 1).
+
+For each ``proof`` declaration the engine translates both levels into
+state machines, dispatches to the recipe's strategy to generate a
+:class:`ProofScript`, mechanically checks every lemma obligation (the
+role Dafny plays in the paper), runs any whole-program bounded
+refinement checks the strategy requested, and finally composes the
+per-pair results by refinement transitivity into the end-to-end theorem
+"the implementation refines the specification".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ArmadaError, ProofFailure, StrategyError
+from repro.lang import asts as ast
+from repro.lang.frontend import CheckedProgram, check_program
+from repro.machine.program import DomainConfig, StateMachine
+from repro.machine.translator import translate_level
+from repro.proofs.artifacts import Lemma, ProofScript, bool_verdict
+from repro.strategies.base import ProofRequest
+from repro.strategies.registry import lookup
+from repro.strategies.regions import (
+    address_invariant_lemmas,
+    region_lemmas,
+)
+from repro.verifier.prover import Prover
+
+
+@dataclass
+class ProofOutcome:
+    """Result of running one refinement recipe."""
+
+    proof_name: str
+    strategy: str
+    success: bool
+    script: ProofScript | None = None
+    error: str | None = None
+    refinement_checked: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def generated_sloc(self) -> int:
+        return self.script.sloc() if self.script is not None else 0
+
+    @property
+    def lemma_count(self) -> int:
+        return len(self.script.lemmas) if self.script is not None else 0
+
+
+@dataclass
+class ChainOutcome:
+    """Result of running every recipe of a program and composing them."""
+
+    outcomes: list[ProofOutcome] = field(default_factory=list)
+    chain: list[str] = field(default_factory=list)
+    end_to_end: bool = False
+
+    @property
+    def success(self) -> bool:
+        return all(o.success for o in self.outcomes) and bool(self.outcomes)
+
+    @property
+    def total_generated_sloc(self) -> int:
+        return sum(o.generated_sloc for o in self.outcomes)
+
+
+class ProofEngine:
+    """Drives proof generation and checking for one Armada program."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        prover: Prover | None = None,
+        max_states: int = 200_000,
+        domains: DomainConfig | None = None,
+        validate_refinement: str = "auto",
+    ) -> None:
+        """``validate_refinement``: ``"always"`` runs the whole-program
+        bounded simulation check for every pair, ``"auto"`` only when a
+        strategy requests it (``global_checks``), ``"never"`` trusts the
+        per-lemma obligations alone."""
+        self.checked = checked
+        self.prover = prover or Prover()
+        self.max_states = max_states
+        self.domains = domains
+        self.validate_refinement = validate_refinement
+        self._machines: dict[str, StateMachine] = {}
+
+    # ------------------------------------------------------------------
+
+    def machine(self, level_name: str) -> StateMachine:
+        if level_name not in self._machines:
+            ctx = self.checked.contexts.get(level_name)
+            if ctx is None:
+                raise ProofFailure(f"unknown level {level_name}")
+            machine = translate_level(ctx)
+            if self.domains is not None:
+                machine.domains = self.domains
+            self._machines[level_name] = machine
+        return self._machines[level_name]
+
+    # ------------------------------------------------------------------
+
+    def run_proof(self, proof: ast.ProofDecl) -> ProofOutcome:
+        started = time.perf_counter()
+        try:
+            strategy = lookup(proof.strategy.name)
+            for level_name in (proof.low_level, proof.high_level):
+                if level_name not in self.checked.contexts:
+                    raise ProofFailure(
+                        f"proof {proof.name} names unknown level "
+                        f"{level_name}"
+                    )
+            request = ProofRequest(
+                proof=proof,
+                low_ctx=self.checked.contexts[proof.low_level],
+                high_ctx=self.checked.contexts[proof.high_level],
+                low_machine=self.machine(proof.low_level),
+                high_machine=self.machine(proof.high_level),
+                prover=self.prover,
+                max_states=self.max_states,
+            )
+            script = strategy.generate(request)
+            self._apply_directives(proof, request, script)
+            self._check_lemmas(script)
+            refinement_checked = self._maybe_validate(proof, script)
+            failed = script.failed_lemmas()
+            if failed:
+                details = "; ".join(
+                    f"{lemma.name}: " + (
+                        str(lemma.verdict.counterexample)
+                        if lemma.verdict is not None
+                        else "unchecked"
+                    )
+                    for lemma in failed[:3]
+                )
+                return ProofOutcome(
+                    proof.name, proof.strategy.name, False, script,
+                    f"verification failed: {details}",
+                    refinement_checked,
+                    time.perf_counter() - started,
+                )
+            return ProofOutcome(
+                proof.name, proof.strategy.name, True, script, None,
+                refinement_checked, time.perf_counter() - started,
+            )
+        except StrategyError as error:
+            return ProofOutcome(
+                proof.name, proof.strategy.name, False, None,
+                f"correspondence error: {error.message}",
+                False, time.perf_counter() - started,
+            )
+        except ArmadaError as error:
+            return ProofOutcome(
+                proof.name, proof.strategy.name, False, None,
+                str(error), False, time.perf_counter() - started,
+            )
+
+    # ------------------------------------------------------------------
+
+    def _apply_directives(
+        self,
+        proof: ast.ProofDecl,
+        request: ProofRequest,
+        script: ProofScript,
+    ) -> None:
+        if proof.has_directive("use_regions"):
+            for lemma in region_lemmas(request.low_ctx):
+                script.add(lemma)
+        if proof.has_directive("use_address_invariant"):
+            for lemma in address_invariant_lemmas(request.low_ctx):
+                script.add(lemma)
+        for item in proof.directives("lemma"):
+            # Lemma customization (§4.1.2): developer-supplied text is
+            # appended to the named lemma (or the last one).
+            target_name = item.args[0] if item.args else ""
+            text = item.args[1] if len(item.args) > 1 else target_name
+            target = next(
+                (l for l in script.lemmas if l.name == target_name),
+                script.lemmas[-1] if script.lemmas else None,
+            )
+            if target is not None:
+                target.customization.append(text)
+
+    def _check_lemmas(self, script: ProofScript) -> None:
+        for lemma in script.lemmas:
+            if lemma.obligation is None:
+                continue
+            try:
+                lemma.verdict = lemma.obligation()
+            except ArmadaError as error:
+                lemma.verdict = bool_verdict(False, {"error": str(error)})
+
+    def _maybe_validate(
+        self, proof: ast.ProofDecl, script: ProofScript
+    ) -> bool:
+        should = self.validate_refinement == "always" or (
+            self.validate_refinement == "auto" and script.global_checks
+        )
+        if not should:
+            return False
+        from repro.explore.refinement_check import check_refinement
+        from repro.proofs.refinement import relation_from_recipe
+
+        relation = relation_from_recipe(
+            proof,
+            self.checked.contexts[proof.low_level],
+            self.checked.contexts[proof.high_level],
+        )
+        result = check_refinement(
+            self.machine(proof.low_level),
+            self.machine(proof.high_level),
+            relation=relation,
+            max_product_states=self.max_states,
+        )
+        script.add(
+            Lemma(
+                name="WholeProgramRefinement",
+                statement=(
+                    f"every finite behavior of {proof.low_level} "
+                    f"simulates a behavior of {proof.high_level} "
+                    "modulo stuttering (bounded check)"
+                ),
+                body=[
+                    f"// product states explored: {result.product_states}"
+                ]
+                + [f"// discharges: {reason}"
+                   for reason in script.global_checks]
+                + (
+                    [
+                        "// counterexample trace: "
+                        + result.counterexample.format_trace()
+                    ]
+                    if result.counterexample is not None
+                    else []
+                ),
+                obligation=None,
+                verdict=bool_verdict(
+                    result.holds,
+                    result.counterexample.description
+                    if result.counterexample
+                    else None,
+                ),
+            )
+        )
+        if not result.holds:
+            script.lemmas[-1].obligation = lambda: bool_verdict(False)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def run_all(self) -> ChainOutcome:
+        """Run every proof and compose the chain by transitivity."""
+        chain_outcome = ChainOutcome()
+        for proof in self.checked.program.proofs:
+            chain_outcome.outcomes.append(self.run_proof(proof))
+        chain_outcome.chain = self._compose_chain()
+        chain_outcome.end_to_end = (
+            chain_outcome.success and len(chain_outcome.chain) >= 2
+        )
+        return chain_outcome
+
+    def _compose_chain(self) -> list[str]:
+        """Order the levels by following the proofs' low→high edges from
+        the level that is never a high side (the implementation)."""
+        edges = {
+            p.low_level: p.high_level
+            for p in self.checked.program.proofs
+        }
+        highs = set(edges.values())
+        starts = [low for low in edges if low not in highs]
+        if len(starts) != 1:
+            return []
+        chain = [starts[0]]
+        while chain[-1] in edges:
+            nxt = edges[chain[-1]]
+            if nxt in chain:
+                return []  # cycle
+            chain.append(nxt)
+        return chain
+
+
+def verify_source(
+    source: str,
+    filename: str = "<armada>",
+    max_states: int = 200_000,
+    validate_refinement: str = "auto",
+) -> ChainOutcome:
+    """Parse, check, and verify a complete Armada program text."""
+    checked = check_program(source, filename)
+    engine = ProofEngine(
+        checked, max_states=max_states,
+        validate_refinement=validate_refinement,
+    )
+    return engine.run_all()

@@ -1,0 +1,9 @@
+"""Concrete runtime: scheduler-driven execution of translated levels."""
+
+from repro.runtime.interpreter import (  # noqa: F401
+    Interpreter,
+    RandomScheduler,
+    RoundRobinScheduler,
+    RunResult,
+    run_level,
+)

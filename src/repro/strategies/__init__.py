@@ -1,0 +1,8 @@
+"""The eight refinement-proof strategies (§4.2) plus region reasoning."""
+
+from repro.strategies.base import ProofRequest, Strategy  # noqa: F401
+from repro.strategies.registry import (  # noqa: F401
+    available_strategies,
+    lookup,
+    register,
+)

@@ -1,0 +1,13 @@
+"""The verification backend: formula interpretation and the bounded
+prover that substitutes for Dafny/Z3 in this reproduction."""
+
+from repro.verifier.interp import UNDEF, interpret, is_undef  # noqa: F401
+from repro.verifier.prover import (  # noqa: F401
+    DEFAULT_PROVER,
+    PROVED,
+    Prover,
+    ProverConfig,
+    REFUTED,
+    UNKNOWN,
+    Verdict,
+)

@@ -1,0 +1,249 @@
+"""Pure interpretation of Armada expressions over variable environments.
+
+Unlike :mod:`repro.machine.evaluator` (which reads program states), this
+interpreter evaluates *formulas*: expressions whose free variables are
+bound by an explicit environment.  It is the evaluation core of the
+bounded prover (:mod:`repro.verifier.prover`).
+
+Undefined behaviour (division by zero, signed overflow, bad shifts) is
+represented by the :data:`UNDEF` sentinel, which propagates through
+operators — mirroring how Dafny verification conditions make such
+operations partial.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang import asts as ast
+from repro.lang import types as ty
+from repro.machine.evaluator import uninterpreted_value
+
+
+class _Undef:
+    """Sentinel for 'this evaluation invoked undefined behaviour'."""
+
+    _instance: "_Undef | None" = None
+
+    def __new__(cls) -> "_Undef":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEF"
+
+
+UNDEF = _Undef()
+
+
+def is_undef(value: Any) -> bool:
+    return value is UNDEF
+
+
+def interpret(expr: ast.Expr, env: dict[str, Any]) -> Any:
+    """Evaluate *expr* with free variables bound by *env*.
+
+    Returns :data:`UNDEF` when the evaluation is undefined.  Unknown
+    variables raise ``KeyError`` (caller error, not UB).
+    """
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.BoolLit):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        if expr.name in env:
+            return env[expr.name]
+        if expr.name == "None":
+            from repro.machine.values import NONE_OPTION
+
+            return NONE_OPTION
+        raise KeyError(f"unbound variable {expr.name}")
+    if isinstance(expr, ast.MetaVar):
+        if expr.name in env:
+            return env[expr.name]
+        raise KeyError(f"unbound meta variable {expr.name}")
+    if isinstance(expr, ast.Old):
+        inner = env.get("$old")
+        if inner is None:
+            raise KeyError("old() without an $old environment")
+        return interpret(expr.operand, {**env, **inner})
+    if isinstance(expr, ast.Nondet):
+        if ("$nondet", id(expr)) in env:
+            return env[("$nondet", id(expr))]
+        raise KeyError("unbound nondet value")
+    if isinstance(expr, ast.Unary):
+        return _unary(expr, interpret(expr.operand, env))
+    if isinstance(expr, ast.Binary):
+        return _binary(expr, env)
+    if isinstance(expr, ast.Conditional):
+        cond = interpret(expr.cond, env)
+        if is_undef(cond):
+            return UNDEF
+        return interpret(expr.then if cond else expr.els, env)
+    if isinstance(expr, ast.Call):
+        return _call(expr, env)
+    if isinstance(expr, ast.SeqLit):
+        values = [interpret(e, env) for e in expr.elements]
+        if any(is_undef(v) for v in values):
+            return UNDEF
+        return tuple(values)
+    if isinstance(expr, ast.SetLit):
+        values = [interpret(e, env) for e in expr.elements]
+        if any(is_undef(v) for v in values):
+            return UNDEF
+        return frozenset(values)
+    if isinstance(expr, ast.Index):
+        base = interpret(expr.base, env)
+        index = interpret(expr.index, env)
+        if is_undef(base) or is_undef(index):
+            return UNDEF
+        if isinstance(base, tuple):
+            if not 0 <= index < len(base):
+                return UNDEF
+            return base[index]
+        return UNDEF
+    if isinstance(expr, ast.Quantifier):
+        return _quantifier(expr, env)
+    raise KeyError(f"cannot interpret {type(expr).__name__} as a formula")
+
+
+def _unary(expr: ast.Unary, value: Any) -> Any:
+    if is_undef(value):
+        return UNDEF
+    if expr.op == "!":
+        return not value
+    if expr.op == "-":
+        return _fit(expr.type, -value)
+    if expr.op == "~":
+        t = expr.type
+        if not isinstance(t, ty.IntType):
+            return UNDEF
+        return t.wrap(~value)
+    return UNDEF
+
+
+def _fit(t: ty.Type | None, value: int) -> Any:
+    if isinstance(t, ty.IntType):
+        if t.signed:
+            return value if t.contains(value) else UNDEF
+        return t.wrap(value)
+    return value
+
+
+def _binary(expr: ast.Binary, env: dict[str, Any]) -> Any:
+    op = expr.op
+    left = interpret(expr.left, env)
+    # Short-circuit operators tolerate UNDEF on the unevaluated side,
+    # matching Dafny's left-to-right partial-expression semantics.
+    if op == "&&":
+        if is_undef(left):
+            return UNDEF
+        if not left:
+            return False
+        return interpret(expr.right, env)
+    if op == "||":
+        if is_undef(left):
+            return UNDEF
+        if left:
+            return True
+        return interpret(expr.right, env)
+    if op == "==>":
+        if is_undef(left):
+            return UNDEF
+        if not left:
+            return True
+        return interpret(expr.right, env)
+    right = interpret(expr.right, env)
+    if is_undef(left) or is_undef(right):
+        return UNDEF
+    if op == "<==":
+        return bool(left) or not right
+    if op == "in":
+        return left in right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op in ("<", "<=", ">", ">="):
+        return {"<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right}[op]
+    if op == "+" and isinstance(left, tuple):
+        return left + right
+    if op in ("+", "-", "*"):
+        raw = {"+": left + right, "-": left - right, "*": left * right}[op]
+        return _fit(expr.type, raw)
+    if op in ("/", "%"):
+        if right == 0:
+            return UNDEF
+        quotient = abs(left) // abs(right)
+        if (left < 0) != (right < 0):
+            quotient = -quotient
+        remainder = left - quotient * right
+        return _fit(expr.type, quotient if op == "/" else remainder)
+    if op in ("<<", ">>"):
+        t = expr.type
+        if not isinstance(t, ty.IntType) or not 0 <= right < t.bits:
+            return UNDEF
+        return t.wrap(left << right) if op == "<<" else left >> right
+    if op in ("&", "|", "^"):
+        t = expr.type
+        if not isinstance(t, ty.IntType):
+            return UNDEF
+        raw = {"&": left & right, "|": left | right, "^": left ^ right}[op]
+        return t.wrap(raw)
+    return UNDEF
+
+
+def _call(expr: ast.Call, env: dict[str, Any]) -> Any:
+    args = [interpret(a, env) for a in expr.args]
+    if any(is_undef(a) for a in args):
+        return UNDEF
+    if expr.func == "len":
+        try:
+            return len(args[0])
+        except TypeError:
+            return UNDEF
+    if expr.func == "abs":
+        return abs(args[0])
+    if expr.func == "Some":
+        from repro.machine.values import some
+
+        return some(args[0])
+    if expr.func in ("first", "last"):
+        if not isinstance(args[0], tuple) or not args[0]:
+            return UNDEF
+        return args[0][0] if expr.func == "first" else args[0][-1]
+    if expr.func in ("drop", "take"):
+        seq, count = args
+        if not isinstance(seq, tuple) or not isinstance(count, int) \
+                or not 0 <= count <= len(seq):
+            return UNDEF
+        return seq[count:] if expr.func == "drop" else seq[:count]
+    key = ("$fn", expr.func)
+    if key in env:
+        return env[key](*args)
+    result_type = expr.type if expr.type is not None else ty.BOOL
+    return uninterpreted_value(expr.func, tuple(args), result_type)
+
+
+_QUANT_BOUND = 12
+
+
+def _quantifier(expr: ast.Quantifier, env: dict[str, Any]) -> Any:
+    domain: list[Any]
+    if isinstance(expr.boundtype, ty.BoolType):
+        domain = [False, True]
+    elif isinstance(expr.boundtype, ty.IntType):
+        lo = max(expr.boundtype.min_value, -_QUANT_BOUND)
+        hi = min(expr.boundtype.max_value, _QUANT_BOUND)
+        domain = list(range(lo, hi + 1))
+    else:
+        domain = list(range(-_QUANT_BOUND, _QUANT_BOUND + 1))
+    results = []
+    for value in domain:
+        result = interpret(expr.body, {**env, expr.boundvar: value})
+        if is_undef(result):
+            return UNDEF
+        results.append(bool(result))
+    return all(results) if expr.kind == "forall" else any(results)

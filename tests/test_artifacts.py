@@ -1,0 +1,116 @@
+"""Tests for proof artifacts (lemmas, scripts, rendering, SLOC)."""
+
+from repro.lang.frontend import check_level
+from repro.machine.translator import translate_level
+from repro.proofs.artifacts import Lemma, ProofScript, bool_verdict
+from repro.proofs.library import (
+    LIBRARY_LEMMAS,
+    render_library_preamble,
+)
+from repro.proofs.render import (
+    describe_step_effect,
+    render_machine_definitions,
+    step_constructor_name,
+)
+
+
+def sample_script():
+    script = ProofScript("P", "weakening", "Low", "High")
+    script.add(Lemma(
+        name="First",
+        statement="1 == 1",
+        body=["// trivial"],
+        obligation=lambda: bool_verdict(True),
+    ))
+    script.add(Lemma(
+        name="Second",
+        statement="2 == 2",
+        body=["// also trivial"],
+    ))
+    return script
+
+
+class TestLemma:
+    def test_render_contains_name_and_statement(self):
+        lemma = Lemma("L1", "x == y", ["// body line"])
+        rendered = lemma.render()
+        assert "lemma L1()" in rendered
+        assert "ensures x == y" in rendered
+        assert "// body line" in rendered
+
+    def test_sloc_counts_nonblank(self):
+        lemma = Lemma("L1", "x == y", ["a", "", "b"])
+        assert lemma.sloc() == lemma.render().count("\n") + 1 - 1  # blank
+
+    def test_customization_rendered(self):
+        lemma = Lemma("L1", "x == y", [], customization=["hint();"])
+        assert "lemma customization" in lemma.render()
+
+
+class TestProofScript:
+    def test_render_module_wrapper(self):
+        rendered = sample_script().render()
+        assert "module Proof_P" in rendered
+        assert "Low refines High" in rendered
+
+    def test_failed_lemmas_before_checking(self):
+        script = sample_script()
+        failed = script.failed_lemmas()
+        assert [l.name for l in failed] == ["First"]  # unchecked
+
+    def test_all_checked_after_obligations_run(self):
+        script = sample_script()
+        for lemma in script.lemmas:
+            if lemma.obligation:
+                lemma.verdict = lemma.obligation()
+        assert script.all_checked
+        assert not script.failed_lemmas()
+
+    def test_sloc_positive(self):
+        assert sample_script().sloc() > 5
+
+
+class TestRenderMachine:
+    def test_definitions_cover_machine_parts(self):
+        machine = translate_level(check_level(
+            "level L { var x: uint32; ghost var g: int; "
+            "void main() { var t: uint32 := 0; t := x; "
+            "if t > 0 { x := 1; } } }"
+        ))
+        lines = render_machine_definitions(machine)
+        text = "\n".join(lines)
+        assert "datatype PC_L" in text
+        assert "datatype Globals_L" in text
+        assert "ghost g: int" in text
+        assert "storeBuffer" in text
+        assert text.count("function NextState_Step_") == \
+            machine.step_count()
+
+    def test_step_constructor_names_unique(self):
+        machine = translate_level(check_level(
+            "level L { var x: uint32; void main() "
+            "{ x := 1; x := 2; x := 3; } }"
+        ))
+        names = [step_constructor_name(s) for s in machine.all_steps()]
+        assert len(names) == len(set(names))
+
+    def test_describe_step_effect(self):
+        machine = translate_level(check_level(
+            "level L { var x: uint32; void main() { x ::= 5; } }"
+        ))
+        effects = [describe_step_effect(s) for s in machine.all_steps()]
+        assert "x ::= 5" in effects
+
+
+class TestLibrary:
+    def test_library_lemmas_named(self):
+        names = [statement for statement, _ in LIBRARY_LEMMAS]
+        text = " ".join(names)
+        assert "CohenLamportReduction" in text
+        assert "RelyGuaranteeSoundness" in text
+        assert "TsoElimination" in text
+        assert "RefinementTransitive" in text
+
+    def test_preamble_renders(self):
+        lines = render_library_preamble()
+        assert len(lines) > len(LIBRARY_LEMMAS)

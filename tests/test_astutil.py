@@ -1,0 +1,117 @@
+"""Tests for AST utilities: equality, printing, substitution."""
+
+from repro.lang import asts as ast
+from repro.lang.astutil import (
+    expr_equal,
+    expr_to_str,
+    free_vars,
+    stmt_to_str,
+    substitute,
+)
+from repro.lang.parser import parse_expression, parse_program
+
+
+def expr(text: str) -> ast.Expr:
+    return parse_expression(text)
+
+
+class TestExprEqual:
+    def test_identical_literals(self):
+        assert expr_equal(expr("42"), expr("42"))
+        assert not expr_equal(expr("42"), expr("43"))
+
+    def test_variables(self):
+        assert expr_equal(expr("x"), expr("x"))
+        assert not expr_equal(expr("x"), expr("y"))
+
+    def test_binary_structure(self):
+        assert expr_equal(expr("a + b * c"), expr("a + b * c"))
+        assert not expr_equal(expr("a + b"), expr("b + a"))
+        assert not expr_equal(expr("a + b"), expr("a - b"))
+
+    def test_ignores_locations(self):
+        a = parse_expression("x  +  1")
+        b = parse_expression("x + 1")
+        assert expr_equal(a, b)
+
+    def test_pointer_forms(self):
+        assert expr_equal(expr("*p"), expr("*p"))
+        assert expr_equal(expr("&a.f"), expr("&a.f"))
+        assert not expr_equal(expr("*p"), expr("&p"))
+
+    def test_nondet_equals_nondet(self):
+        assert expr_equal(expr("*"), expr("*"))
+
+    def test_calls(self):
+        assert expr_equal(expr("f(1, x)"), expr("f(1, x)"))
+        assert not expr_equal(expr("f(1)"), expr("g(1)"))
+        assert not expr_equal(expr("f(1)"), expr("f(1, 2)"))
+
+    def test_quantifiers(self):
+        a = expr("forall i: int . i >= 0")
+        b = expr("forall i: int . i >= 0")
+        c = expr("forall j: int . j >= 0")
+        assert expr_equal(a, b)
+        assert not expr_equal(a, c)  # structural, not alpha-equivalent
+
+    def test_old(self):
+        assert expr_equal(expr("old(x)"), expr("old(x)"))
+        assert not expr_equal(expr("old(x)"), expr("x"))
+
+
+class TestPrinting:
+    def test_roundtrip_simple(self):
+        for text in ("x + 1", "a && b || c", "f(x, y)", "s.next",
+                     "a[i]", "*p", "&v", "old(log)", "[1, 2, 3]"):
+            printed = expr_to_str(expr(text))
+            assert expr_equal(expr(printed), expr(text)), (text, printed)
+
+    def test_precedence_parens(self):
+        printed = expr_to_str(expr("(a + b) * c"))
+        assert expr_equal(expr(printed), expr("(a + b) * c"))
+
+    def test_nondet_prints_star(self):
+        assert expr_to_str(expr("*")) == "*"
+
+    def test_statement_rendering(self):
+        program = parse_program(
+            "level L { void main() { x ::= 1; assert x > 0; } }"
+        )
+        body = program.levels[0].methods[0].body
+        rendered = stmt_to_str(body)
+        assert "x ::= 1;" in rendered
+        assert "assert (x > 0);" in rendered or "assert x > 0;" in rendered
+
+    def test_somehow_rendering(self):
+        program = parse_program(
+            "level L { void main() { somehow modifies s ensures p(s); } }"
+        )
+        stmt = program.levels[0].methods[0].body.stmts[0]
+        text = stmt_to_str(stmt)
+        assert "somehow" in text and "modifies s" in text
+
+
+class TestFreeVarsAndSubstitution:
+    def test_free_vars(self):
+        assert free_vars(expr("x + y * x")) == {"x", "y"}
+
+    def test_bound_vars_excluded(self):
+        assert free_vars(expr("forall i: int . i < n")) == {"n"}
+
+    def test_none_not_free(self):
+        assert free_vars(expr("opt == None")) == {"opt"}
+
+    def test_substitute_var(self):
+        result = substitute(expr("x + y"), {"x": expr("z * 2")})
+        assert expr_equal(result, expr("z * 2 + y"))
+
+    def test_substitute_avoids_capture(self):
+        result = substitute(
+            expr("forall i: int . i < n"), {"i": expr("0")}
+        )
+        assert expr_equal(result, expr("forall i: int . i < n"))
+
+    def test_substitute_shares_untouched(self):
+        original = expr("a + b")
+        result = substitute(original, {"zzz": expr("1")})
+        assert result is original

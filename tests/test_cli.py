@@ -1,0 +1,93 @@
+"""Tests for the armada CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.arm"
+    path.write_text(
+        "level Low { var x: uint32; void main() "
+        "{ x := 1; print_uint32(x); } }\n"
+        "level High { var x: uint32; void main() "
+        "{ x := *; print_uint32(x); } }\n"
+        "proof P { refinement Low High nondet_weakening }\n"
+    )
+    return str(path)
+
+
+class TestCommands:
+    def test_check(self, program_file, capsys):
+        assert main(["check", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 level(s)" in out
+
+    def test_verify_success(self, program_file, capsys):
+        assert main(["verify", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "Low -> High" in out
+
+    def test_verify_failure_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.arm"
+        path.write_text(
+            "level A { var x: uint32; void main() { x := 1; } }\n"
+            "level B { var x: uint32; void main() { x := 2; } }\n"
+            "proof P { refinement A B weakening }\n"
+        )
+        assert main(["verify", str(path)]) == 1
+
+    def test_compile_c(self, program_file, capsys):
+        assert main(["compile", program_file, "--level", "Low"]) == 0
+        assert "#include <stdint.h>" in capsys.readouterr().out
+
+    def test_compile_python(self, program_file, capsys):
+        assert main([
+            "compile", program_file, "--level", "Low", "--backend", "sc",
+        ]) == 0
+        assert "def main():" in capsys.readouterr().out
+
+    def test_run(self, program_file, capsys):
+        assert main(["run", program_file, "--level", "Low"]) == 0
+        assert "log: [1]" in capsys.readouterr().out
+
+    def test_strategies_listing(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "tso_elim" in out and "reduction" in out
+
+    def test_casestudy(self, capsys):
+        assert main(["casestudy", "pointers"]) == 0
+        out = capsys.readouterr().out
+        assert "pointers: verified" in out
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.arm"
+        path.write_text("level {")
+        assert main(["check", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.arm"]) == 2
+
+
+class TestShippedArmadaFile:
+    def test_running_example_file_verifies(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent.parent / "examples"
+            / "running_example.arm"
+        )
+        assert main(["verify", str(path)]) == 0
+
+    def test_running_example_file_runs(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent.parent / "examples"
+            / "running_example.arm"
+        )
+        assert main(["run", str(path), "--level", "Implementation"]) == 0

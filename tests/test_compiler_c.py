@@ -1,0 +1,93 @@
+"""Tests for the ClightTSO-flavoured C back end (§5)."""
+
+import pytest
+
+from repro.errors import CompileError, CoreViolation
+from repro.compiler.cbackend import compile_to_c
+from repro.lang.frontend import check_level
+
+
+def compile_src(source: str) -> str:
+    return compile_to_c(check_level("level L { " + source + " }"))
+
+
+class TestEmission:
+    def test_runtime_prelude_present(self):
+        code = compile_src("void main() { }")
+        assert "#include <stdint.h>" in code
+        assert "armada_create_thread" in code
+
+    def test_method_signature(self):
+        code = compile_src("uint32 f(a: uint8, b: int64) { return 0; } "
+                           "void main() { }")
+        assert "uint32_t f(uint8_t a, int64_t b)" in code
+
+    def test_prototypes_before_bodies(self):
+        code = compile_src("void helper() { } void main() { helper(); }")
+        assert code.index("void helper(void);") < code.index(
+            "void helper(void)\n"
+        )
+
+    def test_struct_emission(self):
+        code = compile_src(
+            "struct Node { var next: ptr<Node>; var v: uint64[4]; } "
+            "void main() { }"
+        )
+        assert "struct Node {" in code
+        assert "struct Node * next;" in code.replace("*next", "* next")
+        assert "uint64_t v[4];" in code
+
+    def test_global_with_initializer(self):
+        code = compile_src("var best: uint32 := 255; void main() { }")
+        assert "uint32_t best = 255;" in code
+
+    def test_control_flow(self):
+        code = compile_src(
+            "void main() { var i: uint32 := 0; while i < 3 "
+            "{ if i == 1 { break; } i := i + 1; } }"
+        )
+        assert "while ((i < 3))" in code or "while (i < 3)" in code
+        assert "break;" in code
+
+    def test_thread_trampoline(self):
+        code = compile_src(
+            "void worker(n: uint32) { } "
+            "void main() { var t: uint64 := 0; "
+            "t := create_thread worker(3); join t; }"
+        )
+        assert "armada_thread_entry_0" in code
+        assert "worker(3)" in code
+        assert "armada_join(t);" in code
+
+    def test_malloc_dealloc(self):
+        code = compile_src(
+            "void main() { var p: ptr<uint32> := null; "
+            "p := malloc(uint32); dealloc p; }"
+        )
+        assert "armada_malloc(sizeof(uint32_t))" in code
+        assert "armada_dealloc(p);" in code
+
+    def test_mutex_extern_calls(self):
+        code = compile_src(
+            "var mu: uint64; void main() { initialize_mutex(&mu); "
+            "lock(&mu); unlock(&mu); }"
+        )
+        assert "lock((&mu));" in code or "lock(&mu);" in code
+
+    def test_pointer_deref_assignment(self):
+        code = compile_src(
+            "var g: uint32; void main() { var p: ptr<uint32> := null; "
+            "p := &g; *p := 5; }"
+        )
+        assert "(*p) = 5;" in code
+
+
+class TestRejection:
+    def test_non_core_rejected(self):
+        with pytest.raises(CoreViolation):
+            compile_src("ghost var g: int; void main() { }")
+
+    def test_somehow_rejected(self):
+        with pytest.raises(CoreViolation):
+            compile_src("var x: uint32; void main() "
+                        "{ somehow modifies x; }")

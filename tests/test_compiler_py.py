@@ -1,0 +1,182 @@
+"""Tests for the Python execution back end (all three modes)."""
+
+import pytest
+
+from repro.compiler.pybackend import compile_to_python
+from repro.errors import CompileError
+from repro.lang.frontend import check_level
+
+MODES = ("sc", "conservative", "tso")
+
+
+def run(source: str, mode: str = "sc"):
+    ctx = check_level("level L { " + source + " }")
+    return compile_to_python(ctx, mode).run()
+
+
+class TestBasics:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_arithmetic(self, mode):
+        assert run(
+            "void main() { var x: uint32 := 0; x := 2 + 3 * 4; "
+            "print_uint32(x); }",
+            mode,
+        ) == [14]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_unsigned_wrap(self, mode):
+        assert run(
+            "var x: uint32 := 4294967295; "
+            "void main() { var t: uint32 := 0; t := x; x := t + 1; "
+            "t := x; print_uint32(t); }",
+            mode,
+        ) == [0]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_c_style_division(self, mode):
+        assert run(
+            "void main() { var a: uint32 := 7; var b: uint32 := 2; "
+            "var c: uint32 := 0; c := a / b; print_uint32(c); }",
+            mode,
+        ) == [3]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_loops_and_arrays(self, mode):
+        assert run(
+            "var a: uint32[5]; void main() { var i: uint32 := 0; "
+            "while i < 5 { a[i] := i * i; i := i + 1; } "
+            "var t: uint32 := 0; t := a[4]; print_uint32(t); }",
+            mode,
+        ) == [16]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_method_calls(self, mode):
+        assert run(
+            "uint32 inc(n: uint32) { return n + 1; } "
+            "void main() { var r: uint32 := 0; r := inc(41); "
+            "print_uint32(r); }",
+            mode,
+        ) == [42]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_modulo_and_bitmask_agree(self, mode):
+        assert run(
+            "void main() { var i: uint32 := 0; "
+            "while i < 16 { assert (i & 7) == (i % 8); i := i + 1; } "
+            "print_uint32(1); }",
+            mode,
+        ) == [1]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_threads_and_mutex(self, mode):
+        assert run(
+            "var x: uint32; var mu: uint64; "
+            "void worker() { var t: uint32 := 0; lock(&mu); t := x; "
+            "x := t + 1; unlock(&mu); } "
+            "void main() { var h: uint64 := 0; var t: uint32 := 0; "
+            "initialize_mutex(&mu); h := create_thread worker(); "
+            "lock(&mu); t := x; x := t + 1; unlock(&mu); join h; "
+            "fence(); t := x; print_uint32(t); }",
+            mode,
+        ) == [2]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_atomics(self, mode):
+        assert run(
+            "var c: uint64; void main() { var ok: bool := false; "
+            "var o: uint64 := 0; var t: uint64 := 0; "
+            "ok := compare_and_swap(&c, 0, 5); assert ok; "
+            "o := atomic_exchange(&c, 9); assert o == 5; "
+            "o := atomic_fetch_add(&c, 1); assert o == 9; "
+            "t := c; print_uint64(t); }",
+            mode,
+        ) == [10]
+
+
+class TestModeSpecifics:
+    def test_sc_elides_fences(self):
+        ctx = check_level(
+            "level L { void main() { fence(); } }"
+        )
+        sc = compile_to_python(ctx, "sc").source
+        conservative = compile_to_python(ctx, "conservative").source
+        sc_main = sc[sc.index("def main"):]
+        cons_main = conservative[conservative.index("def main"):]
+        assert "fence()" not in sc_main
+        assert "fence()" in cons_main
+
+    def test_conservative_masks_every_store(self):
+        ctx = check_level(
+            "level L { var x: uint32; void main() { x := 1; } }"
+        )
+        code = compile_to_python(ctx, "conservative").source
+        assert "& 0xffffffff" in code
+
+    def test_tso_buffers_shared_writes(self):
+        ctx = check_level(
+            "level L { var x: uint32; void main() { x := 1; } }"
+        )
+        code = compile_to_python(ctx, "tso").source
+        assert "_sb_write('x', 1)" in code
+
+    def test_tso_mode_flushes_at_exit(self):
+        # Without the exit fence a joined thread's writes could be lost.
+        assert run(
+            "var x: uint32; void worker() { x := 7; } "
+            "void main() { var h: uint64 := 0; var t: uint32 := 0; "
+            "h := create_thread worker(); join h; t := x; "
+            "print_uint32(t); }",
+            "tso",
+        ) == [7]
+
+    def test_shadowing_rejected(self):
+        ctx = check_level(
+            "level L { var x: uint32; void main() "
+            "{ var x2: uint32 := 0; } void f(x: uint32) { } }"
+        )
+        # Parameter x shadows global x.
+        with pytest.raises(CompileError):
+            compile_to_python(ctx, "sc")
+
+    def test_unknown_mode_rejected(self):
+        ctx = check_level("level L { void main() { } }")
+        with pytest.raises(CompileError):
+            compile_to_python(ctx, "turbo")
+
+    def test_heap_allocation_unsupported(self):
+        ctx = check_level(
+            "level L { void main() { var p: ptr<uint32> := null; "
+            "p := malloc(uint32); } }"
+        )
+        with pytest.raises(CompileError):
+            compile_to_python(ctx, "sc")
+
+
+class TestDifferentialAgainstInterpreter:
+    """The compiled code must agree with the reference state machine."""
+
+    PROGRAMS = [
+        "void main() { var x: uint32 := 0; var i: uint32 := 0; "
+        "while i < 7 { x := x + i * i; i := i + 1; } "
+        "print_uint32(x); }",
+        "var a: uint32[4]; void main() { var i: uint32 := 0; "
+        "while i < 4 { a[i] := 3 * i; i := i + 1; } "
+        "var s: uint32 := 0; var t: uint32 := 0; i := 0; "
+        "while i < 4 { t := a[i]; s := s + t; i := i + 1; } "
+        "print_uint32(s); }",
+        "uint32 gcd(a: uint32, b: uint32) { var r: uint32 := 0; "
+        "if b == 0 { return a; } r := gcd(b, a % b); return r; } "
+        "void main() { var g: uint32 := 0; g := gcd(48, 36); "
+        "print_uint32(g); }",
+    ]
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_agrees_with_reference_runtime(self, program, mode):
+        from repro.machine.translator import translate_level
+        from repro.runtime.interpreter import run_level
+
+        ctx = check_level("level L { " + program + " }")
+        reference = run_level(translate_level(ctx)).log
+        compiled = compile_to_python(ctx, mode).run()
+        assert list(reference) == compiled

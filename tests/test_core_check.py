@@ -1,0 +1,130 @@
+"""Tests for the core-Armada (compilable subset) checker (§3.1.1)."""
+
+import pytest
+
+from repro.errors import CoreViolation
+from repro.lang.frontend import check_level
+from repro.lang.core_check import check_core
+
+
+def core_ok(source: str):
+    check_core(check_level("level L { " + source + " }"))
+
+
+def core_rejected(source: str) -> str:
+    with pytest.raises(CoreViolation) as info:
+        core_ok(source)
+    return str(info.value)
+
+
+class TestGhostConstructs:
+    def test_ghost_global_rejected(self):
+        assert "ghost" in core_rejected("ghost var g: int; void main() { }")
+
+    def test_ghost_local_rejected(self):
+        core_rejected("void main() { ghost var g: int := 0; }")
+
+    def test_mathint_rejected(self):
+        core_rejected("var g: int; void main() { }")
+
+    def test_seq_type_rejected(self):
+        core_rejected("var q: seq<uint64>; void main() { }")
+
+    def test_somehow_rejected(self):
+        core_rejected("var g: uint32; void main() "
+                      "{ somehow modifies g; }")
+
+    def test_assume_rejected(self):
+        core_rejected("void main() { assume true; }")
+
+    def test_atomic_rejected(self):
+        core_rejected("var g: uint32; void main() "
+                      "{ atomic { g := 1; } }")
+
+    def test_explicit_yield_rejected(self):
+        core_rejected("void main() { explicit_yield { yield; } }")
+
+    def test_tso_bypass_rejected(self):
+        core_rejected("var g: uint32; void main() { g ::= 1; }")
+
+    def test_nondet_rejected(self):
+        core_rejected("void main() { if (*) { } }")
+
+    def test_ghost_function_call_rejected(self):
+        core_rejected("void main() { assert valid(1); }")
+
+    def test_meta_variable_rejected(self):
+        core_rejected("void main() { var t: uint64 := 0; "
+                      "t := $me; }")
+
+    def test_quantifier_rejected(self):
+        core_rejected("void main() { assert forall i: int . i == i; }")
+
+
+class TestSharedAccessLimit:
+    # "Each statement may have at most one shared-location access."
+
+    def test_two_global_reads_rejected(self):
+        message = core_rejected(
+            "var a: uint32; var b: uint32; void main() "
+            "{ var t: uint32 := 0; t := a + b; }"
+        )
+        assert "shared-location" in message
+
+    def test_read_modify_write_rejected(self):
+        core_rejected("var a: uint32; void main() { a := a + 1; }")
+
+    def test_single_access_allowed(self):
+        core_ok(
+            "var a: uint32; void main() "
+            "{ var t: uint32 := 0; t := a; a := t + 1; }"
+        )
+
+    def test_two_derefs_rejected(self):
+        core_rejected(
+            "var a: uint32; void main() {"
+            " var p: ptr<uint32> := null; var q: ptr<uint32> := null;"
+            " p := &a; q := &a; *p := *q; }"
+        )
+
+    def test_address_of_is_not_an_access(self):
+        core_ok(
+            "var a: uint32; void main() "
+            "{ var p: ptr<uint32> := null; p := &a; }"
+        )
+
+    def test_address_taken_local_counts_as_shared(self):
+        core_rejected(
+            "void main() { var a: uint32 := 0; var b: uint32 := 0; "
+            "var p: ptr<uint32> := null; p := &a; b := a + a; }"
+        )
+
+    def test_array_element_through_local_index(self):
+        core_ok(
+            "var arr: uint32[4]; void main() "
+            "{ var i: uint32 := 0; arr[i] := 7; }"
+        )
+
+
+class TestAcceptedCore:
+    def test_full_core_program(self):
+        core_ok(
+            "struct S { var f: uint32; } var s: S; var mu: uint64; "
+            "void worker(n: uint32) { var t: uint32 := 0; "
+            "lock(&mu); t := s.f; s.f := t + n; unlock(&mu); } "
+            "void main() { var h: uint64 := 0; initialize_mutex(&mu); "
+            "h := create_thread worker(3); join h; }"
+        )
+
+    def test_malloc_dealloc(self):
+        core_ok(
+            "void main() { var p: ptr<uint32> := null; "
+            "p := malloc(uint32); *p := 4; dealloc p; }"
+        )
+
+    def test_control_flow(self):
+        core_ok(
+            "void main() { var i: uint32 := 0; "
+            "while i < 10 { if i == 5 { break; } "
+            "i := i + 1; continue; } }"
+        )

@@ -1,0 +1,117 @@
+"""Tests for the proof engine: chains, directives, customization."""
+
+from repro.lang.frontend import check_program
+from repro.proofs.engine import ProofEngine, verify_source
+
+
+TWO_STEP_CHAIN = """
+level Impl {
+  var x: uint32;
+  void main() { x := 3; print_uint32(x); }
+}
+level Mid {
+  var x: uint32;
+  ghost var g: int;
+  void main() { x := 3; g := 1; print_uint32(x); }
+}
+level Spec {
+  var x: uint32;
+  ghost var g: int;
+  void main() { x := *; g := 1; print_uint32(x); }
+}
+proof ImplToMid { refinement Impl Mid var_intro }
+proof MidToSpec { refinement Mid Spec nondet_weakening }
+"""
+
+
+class TestChains:
+    def test_chain_composed(self):
+        outcome = verify_source(TWO_STEP_CHAIN)
+        assert outcome.success
+        assert outcome.chain == ["Impl", "Mid", "Spec"]
+        assert outcome.end_to_end
+
+    def test_total_generated_sloc_accumulates(self):
+        outcome = verify_source(TWO_STEP_CHAIN)
+        assert outcome.total_generated_sloc == sum(
+            o.generated_sloc for o in outcome.outcomes
+        )
+        assert outcome.total_generated_sloc > 0
+
+    def test_broken_link_breaks_chain_success(self):
+        source = TWO_STEP_CHAIN.replace("g := 1; print_uint32(x);",
+                                        "g := 2; print_uint32(x);", 1)
+        outcome = verify_source(source)
+        assert not outcome.success
+
+    def test_unknown_level_reported(self):
+        outcome = verify_source(
+            "level A { void main() { } } "
+            "proof P { refinement A Missing weakening }"
+        )
+        assert not outcome.outcomes[0].success
+
+
+class TestEngineMechanics:
+    def test_machines_cached(self):
+        checked = check_program(TWO_STEP_CHAIN)
+        engine = ProofEngine(checked)
+        assert engine.machine("Mid") is engine.machine("Mid")
+
+    def test_validate_always_adds_whole_program_lemma(self):
+        checked = check_program(TWO_STEP_CHAIN)
+        engine = ProofEngine(checked, validate_refinement="always")
+        outcome = engine.run_proof(checked.program.proofs[0])
+        assert outcome.success
+        names = [l.name for l in outcome.script.lemmas]
+        assert "WholeProgramRefinement" in names
+
+    def test_validate_never_skips_global_checks(self):
+        checked = check_program(TWO_STEP_CHAIN)
+        engine = ProofEngine(checked, validate_refinement="never")
+        outcome = engine.run_proof(checked.program.proofs[0])
+        names = [l.name for l in (outcome.script.lemmas if outcome.script
+                                  else [])]
+        assert "WholeProgramRefinement" not in names
+
+    def test_lemma_customization_appended(self):
+        source = (
+            "level A { var x: uint32; void main() { x := 1; } } "
+            "level B { var x: uint32; void main() { x := 1; } } "
+            "proof P { refinement A B weakening "
+            'lemma Statement_main_0_Weakens "assert BitvectorFact(x);" }'
+        )
+        outcome = verify_source(source)
+        assert outcome.outcomes[0].success
+        rendered = outcome.outcomes[0].script.render()
+        assert "lemma customization" in rendered
+        assert "BitvectorFact" in rendered
+
+    def test_use_regions_directive_adds_lemmas(self):
+        source = (
+            "level A { var a: uint32; void main() "
+            "{ var p: ptr<uint32> := null; p := &a; } } "
+            "level B { var a: uint32; void main() "
+            "{ var p: ptr<uint32> := null; p := &a; } } "
+            "proof P { refinement A B weakening use_regions }"
+        )
+        outcome = verify_source(source)
+        assert outcome.outcomes[0].success
+        names = [l.name for l in outcome.outcomes[0].script.lemmas]
+        assert "RegionAssignment" in names
+
+    def test_generated_proof_renders_state_machine(self):
+        outcome = verify_source(TWO_STEP_CHAIN)
+        rendered = outcome.outcomes[1].script.render()
+        assert "datatype PC_" in rendered
+        assert "NextState_" in rendered
+        assert "storeBuffer" in rendered
+
+    def test_strategy_error_is_reported_not_raised(self):
+        outcome = verify_source(
+            "level A { var x: uint32; void main() { x := 1; } } "
+            "level B { var x: uint32; void main() { x := 2; x := 1; } } "
+            "proof P { refinement A B weakening }"
+        )
+        assert not outcome.outcomes[0].success
+        assert "correspondence" in outcome.outcomes[0].error

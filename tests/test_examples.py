@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as integration tests of the public API; each one
+ends with assertions of its own, so a clean exit is a real check.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_examples_present():
+    # The deliverable requires at least three runnable examples.
+    assert len(EXAMPLES) >= 3
+    assert any(p.stem == "quickstart" for p in EXAMPLES)

@@ -1,0 +1,111 @@
+"""Tests for the explicit-state explorer and invariant checking."""
+
+from repro.explore.explorer import Explorer, final_logs
+from repro.lang.frontend import check_level
+from repro.machine.translator import translate_level
+
+
+def machine_for(source: str):
+    return translate_level(check_level("level L { " + source + " }"))
+
+
+COUNTER = (
+    "var x: uint32; var mu: uint64; "
+    "void worker() { var t: uint32 := 0; lock(&mu); t := x; "
+    "x := t + 1; unlock(&mu); } "
+    "void main() { var a: uint64 := 0; var t: uint32 := 0; "
+    "initialize_mutex(&mu); a := create_thread worker(); "
+    "lock(&mu); t := x; x := t + 1; unlock(&mu); join a; "
+    "t := x; print_uint32(t); }"
+)
+
+
+class TestExploration:
+    def test_visits_all_states(self):
+        machine = machine_for("void main() { print_uint32(1); }")
+        result = Explorer(machine).explore()
+        assert result.states_visited >= 2
+        assert result.final_outcomes == {("normal", (1,))}
+
+    def test_deduplicates_states(self):
+        machine = machine_for(
+            "void main() { var i: uint32 := 0; "
+            "while i < 50 { i := i + 1; } }"
+        )
+        result = Explorer(machine).explore()
+        # Linear in the loop bound, not exponential.
+        assert result.states_visited < 200
+
+    def test_counter_outcome_unique(self):
+        machine = machine_for(COUNTER)
+        result = Explorer(machine).explore()
+        assert result.final_outcomes == {("normal", (2,))}
+        assert not result.has_ub
+
+    def test_state_budget_reported(self):
+        machine = machine_for(COUNTER)
+        result = Explorer(machine, max_states=10).explore()
+        assert result.hit_state_budget
+
+    def test_ub_reasons_collected(self):
+        machine = machine_for(
+            "void main() { var a: uint32 := 1; var b: uint32 := 0; "
+            "a := a / b; }"
+        )
+        result = Explorer(machine).explore()
+        assert result.has_ub
+        assert any("zero" in reason for reason in result.ub_reasons)
+
+    def test_assert_failures_counted(self):
+        machine = machine_for("void main() { assert false; }")
+        result = Explorer(machine).explore()
+        assert result.assert_failures == 1
+
+
+class TestInvariants:
+    def test_invariant_holds(self):
+        machine = machine_for(COUNTER)
+
+        def x_bounded(state):
+            from repro.machine.values import Location, Root
+
+            loc = Location(Root("global", "x"))
+            return state.memory.get(loc, 0) <= 2
+
+        result = Explorer(machine).explore({"x_bounded": x_bounded})
+        assert not result.violations
+
+    def test_invariant_violation_reported(self):
+        machine = machine_for(COUNTER)
+
+        def x_never_two(state):
+            from repro.machine.values import Location, Root
+
+            loc = Location(Root("global", "x"))
+            return state.memory.get(loc, 0) < 2
+
+        result = Explorer(machine).explore({"x_never_two": x_never_two})
+        assert result.violations
+        assert result.violations[0].invariant_name == "x_never_two"
+
+    def test_crashing_invariant_counts_as_violation(self):
+        machine = machine_for("void main() { }")
+
+        def bad(state):
+            raise RuntimeError("boom")
+
+        result = Explorer(machine).explore({"bad": bad})
+        assert result.violations
+
+
+class TestFinalLogs:
+    def test_nondet_produces_multiple_outcomes(self):
+        machine = machine_for(
+            "void main() { if (*) { print_uint32(1); } else "
+            "{ print_uint32(2); } }"
+        )
+        assert {log for _, log in final_logs(machine)} == {(1,), (2,)}
+
+    def test_deadlock_reported(self):
+        machine = machine_for("void main() { assume false; }")
+        assert {kind for kind, _ in final_logs(machine)} == {"deadlock"}

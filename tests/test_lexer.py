@@ -1,0 +1,127 @@
+"""Tests for the Armada lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        tokens = tokenize("best_len")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "best_len"
+
+    def test_keyword(self):
+        tokens = tokenize("while")
+        assert tokens[0].kind is TokenKind.KEYWORD
+
+    def test_identifier_with_prime(self):
+        assert texts("x'") == ["x'"]
+
+    def test_decimal_literal(self):
+        tokens = tokenize("10000")
+        assert tokens[0].kind is TokenKind.INTLIT
+        assert int(tokens[0].text) == 10000
+
+    def test_hex_literal(self):
+        tokens = tokenize("0xFFFFFFFF")
+        assert int(tokens[0].text, 0) == 0xFFFFFFFF
+
+    def test_string_literal(self):
+        tokens = tokenize('"s.s.globals.mutex == $me"')
+        assert tokens[0].kind is TokenKind.STRINGLIT
+        assert "$me" in tokens[0].text
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\"c"')
+        assert tokens[0].text == 'a\nb"c'
+
+    def test_meta_variable(self):
+        tokens = tokenize("$me $sb_empty")
+        assert tokens[0].text == "$me"
+        assert tokens[1].text == "$sb_empty"
+        assert tokens[0].kind is TokenKind.IDENT
+
+
+class TestPunctuation:
+    def test_tso_bypass_assign_is_one_token(self):
+        assert texts("x ::= y") == ["x", "::=", "y"]
+
+    def test_ordinary_assign(self):
+        assert texts("x := y") == ["x", ":=", "y"]
+
+    def test_implication(self):
+        assert texts("a ==> b") == ["a", "==>", "b"]
+
+    def test_shift_operators(self):
+        assert texts("a << b >> c") == ["a", "<<", "b", ">>", "c"]
+
+    def test_comparison_greedy(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+
+    def test_logical_operators(self):
+        assert texts("a && b || !c") == ["a", "&&", "b", "||", "!", "c"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_block_comment_multiline(self):
+        assert texts("a /* x\ny\nz */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].loc.line == 1
+        assert tokens[1].loc.line == 2
+        assert tokens[1].loc.column == 3
+
+    def test_filename_propagates(self):
+        tokens = tokenize("a", filename="test.arm")
+        assert tokens[0].loc.filename == "test.arm"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+    def test_identifier_after_number(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"never closed')

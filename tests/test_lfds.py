@@ -1,0 +1,127 @@
+"""Tests for the liblfds substrate (§6.4 baseline) and the Armada port."""
+
+import pytest
+
+from repro.lfds import (
+    BoundedSPSCQueue,
+    BoundedSPSCQueueModulo,
+    QueueEmptyError,
+    QueueFullError,
+    single_thread_throughput,
+    two_thread_throughput,
+)
+from repro.lfds.armada_port import compile_port, throughput
+
+VARIANTS = [BoundedSPSCQueue, BoundedSPSCQueueModulo]
+
+
+@pytest.mark.parametrize("cls", VARIANTS)
+class TestQueueBehaviour:
+    def test_fifo_order(self, cls):
+        q = cls(8)
+        for i in range(5):
+            q.enqueue(i)
+        assert [q.dequeue() for _ in range(5)] == list(range(5))
+
+    def test_capacity_is_size_minus_one(self, cls):
+        q = cls(8)
+        assert q.capacity == 7
+        for i in range(7):
+            assert q.try_enqueue(i)
+        assert not q.try_enqueue(99)
+        assert q.is_full()
+
+    def test_empty_dequeue(self, cls):
+        q = cls(4)
+        ok, value = q.try_dequeue()
+        assert not ok and value is None
+        with pytest.raises(QueueEmptyError):
+            q.dequeue()
+
+    def test_full_enqueue_raises(self, cls):
+        q = cls(2)
+        q.enqueue(1)
+        with pytest.raises(QueueFullError):
+            q.enqueue(2)
+
+    def test_wraparound(self, cls):
+        q = cls(4)
+        for round_no in range(10):
+            for i in range(3):
+                q.enqueue((round_no, i))
+            for i in range(3):
+                assert q.dequeue() == (round_no, i)
+        assert q.is_empty()
+
+    def test_len_tracks_occupancy(self, cls):
+        q = cls(8)
+        assert len(q) == 0
+        q.enqueue(1)
+        q.enqueue(2)
+        assert len(q) == 2
+        q.dequeue()
+        assert len(q) == 1
+
+    def test_size_must_be_power_of_two(self, cls):
+        with pytest.raises(ValueError):
+            cls(3)
+        with pytest.raises(ValueError):
+            cls(1)
+
+
+class TestVariantsAgree:
+    def test_same_trace(self):
+        a = BoundedSPSCQueue(16)
+        b = BoundedSPSCQueueModulo(16)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(2000):
+            if rng.random() < 0.55:
+                v = rng.randrange(1000)
+                assert a.try_enqueue(v) == b.try_enqueue(v)
+            else:
+                assert a.try_dequeue() == b.try_dequeue()
+            assert len(a) == len(b)
+
+
+class TestConcurrent:
+    def test_two_thread_transfer(self):
+        result = two_thread_throughput(BoundedSPSCQueue, 64, items=5_000)
+        assert result.operations == 10_000
+        assert result.ops_per_second > 0
+
+    def test_single_thread_harness(self):
+        result = single_thread_throughput(BoundedSPSCQueue, 512, 10_000)
+        assert result.operations >= 10_000
+
+
+class TestArmadaPort:
+    @pytest.mark.parametrize("mode", ["sc", "conservative", "tso"])
+    def test_demo_main(self, mode):
+        assert compile_port(mode).run() == [41, 42]
+
+    def test_port_matches_reference_queue(self):
+        namespace = compile_port("sc").load()
+        reference = BoundedSPSCQueueModulo(512)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(3000):
+            if rng.random() < 0.6:
+                v = rng.randrange(1 << 30)
+                ours = namespace["try_enqueue"](v)
+                theirs = reference.try_enqueue(v)
+                assert bool(ours) == theirs
+            else:
+                got = namespace["try_dequeue"]()
+                ok, value = reference.try_dequeue()
+                if ok:
+                    assert got == value
+                else:
+                    assert got == 0
+
+    def test_throughput_harness(self):
+        result = throughput("sc", operations=5_000)
+        assert result.operations >= 5_000
+        assert result.ops_per_second > 0

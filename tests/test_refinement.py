@@ -1,0 +1,157 @@
+"""Tests for the refinement (simulation) checker (§3.1.3)."""
+
+from repro.explore.refinement_check import (
+    check_refinement,
+    log_equal_relation,
+    log_prefix_relation,
+    with_ub_conjunct,
+)
+from repro.lang.frontend import check_program
+from repro.machine.state import ProgramState, Termination
+from repro.machine.pmap import PMap
+from repro.machine.translator import translate_level
+
+
+def machines(source: str, low: str, high: str):
+    checked = check_program(source)
+    return (
+        translate_level(checked.contexts[low]),
+        translate_level(checked.contexts[high]),
+    )
+
+
+def _state(log=(), termination=None):
+    return ProgramState(
+        threads=PMap(), memory=PMap(), allocation=PMap(), ghosts=PMap(),
+        log=log, termination=termination,
+    )
+
+
+class TestRelations:
+    def test_log_prefix_running(self):
+        assert log_prefix_relation(_state(log=(1,)), _state(log=(1, 2)))
+        assert not log_prefix_relation(_state(log=(2,)), _state(log=(1,)))
+
+    def test_log_prefix_at_normal_termination_requires_equality(self):
+        done = Termination("normal")
+        assert not log_prefix_relation(
+            _state(log=(1,), termination=done), _state(log=(1, 2))
+        )
+        assert log_prefix_relation(
+            _state(log=(1, 2), termination=done),
+            _state(log=(1, 2), termination=done),
+        )
+
+    def test_ub_conjunct(self):
+        relation = with_ub_conjunct(log_equal_relation)
+        ub = Termination("undefined_behavior")
+        # Low UB requires high UB (§3.2.3).
+        assert not relation(_state(termination=ub), _state())
+        assert relation(_state(termination=ub), _state(termination=ub))
+
+
+class TestRefinementCheck:
+    def test_identical_programs_refine(self):
+        low, high = machines(
+            "level A { void main() { print_uint32(7); } } "
+            "level B { void main() { print_uint32(7); } }",
+            "A", "B",
+        )
+        assert check_refinement(low, high).holds
+
+    def test_different_output_fails(self):
+        low, high = machines(
+            "level A { void main() { print_uint32(7); } } "
+            "level B { void main() { print_uint32(8); } }",
+            "A", "B",
+        )
+        result = check_refinement(low, high)
+        assert not result.holds
+        assert result.counterexample is not None
+
+    def test_stuttering_absorbs_extra_high_steps(self):
+        low, high = machines(
+            "level A { void main() { print_uint32(7); } } "
+            "level B { var x: uint32; void main() "
+            "{ x := 1; x := 2; print_uint32(7); } }",
+            "A", "B",
+        )
+        assert check_refinement(low, high).holds
+
+    def test_high_nondeterminism_absorbs_low(self):
+        low, high = machines(
+            "level A { void main() { print_uint32(1); } } "
+            "level B { void main() { if (*) { print_uint32(1); } "
+            "else { print_uint32(2); } } }",
+            "A", "B",
+        )
+        assert check_refinement(low, high).holds
+
+    def test_low_nondeterminism_needs_high_cover(self):
+        low, high = machines(
+            "level A { void main() { if (*) { print_uint32(1); } "
+            "else { print_uint32(2); } } } "
+            "level B { void main() { print_uint32(1); } }",
+            "A", "B",
+        )
+        assert not check_refinement(low, high).holds
+
+    def test_low_ub_fails_against_safe_high(self):
+        low, high = machines(
+            "level A { void main() { var a: uint32 := 1; "
+            "var b: uint32 := 0; a := a / b; } } "
+            "level B { void main() { } }",
+            "A", "B",
+        )
+        assert not check_refinement(low, high).holds
+
+    def test_product_budget(self):
+        low, high = machines(
+            "level A { void main() { var i: uint32 := 0; "
+            "while i < 40 { i := i + 1; } } } "
+            "level B { void main() { var i: uint32 := 0; "
+            "while i < 40 { i := i + 1; } } }",
+            "A", "B",
+        )
+        result = check_refinement(low, high, max_product_states=5)
+        assert result.hit_budget and not result.holds
+
+    def test_custom_relation(self):
+        low, high = machines(
+            "level A { void main() { print_uint32(7); } } "
+            "level B { void main() { print_uint32(7); } }",
+            "A", "B",
+        )
+        result = check_refinement(
+            low, high, relation=lambda l, h: True
+        )
+        assert result.holds
+
+
+class TestCounterexampleTraces:
+    def test_trace_leads_to_failure(self):
+        low, high = machines(
+            "level A { var x: uint32; void main() "
+            "{ x := 1; print_uint32(7); } } "
+            "level B { var x: uint32; void main() "
+            "{ x := 1; print_uint32(8); } }",
+            "A", "B",
+        )
+        result = check_refinement(low, high)
+        assert not result.holds
+        cex = result.counterexample
+        assert cex.trace, "counterexample must carry a trace"
+        # The trace replays deterministically to the failing state.
+        state = low.initial_state()
+        for transition in cex.trace:
+            state = low.next_state(state, transition)
+        assert state == cex.low_state
+        assert "t1:" in cex.format_trace()
+
+    def test_no_trace_when_holds(self):
+        low, high = machines(
+            "level A { void main() { print_uint32(7); } } "
+            "level B { void main() { print_uint32(7); } }",
+            "A", "B",
+        )
+        assert check_refinement(low, high).counterexample is None

@@ -1,0 +1,125 @@
+"""Tests for Steensgaard region analysis (§4.1.1)."""
+
+from repro.lang.frontend import check_level
+from repro.strategies.regions import (
+    UnionFind,
+    address_invariant_lemmas,
+    analyze_regions,
+    region_lemmas,
+)
+
+
+def analyze(source: str):
+    return analyze_regions(check_level("level L { " + source + " }"))
+
+
+class TestUnionFind:
+    def test_initially_distinct(self):
+        uf = UnionFind()
+        assert not uf.same("a", "b")
+
+    def test_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.same("a", "b")
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same("a", "c")
+
+    def test_path_compression_idempotent(self):
+        uf = UnionFind()
+        for i in range(20):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(21))
+
+
+class TestSteensgaard:
+    DISTINCT = (
+        "var a: uint32; var b: uint32; void main() { "
+        "var p: ptr<uint32> := null; var q: ptr<uint32> := null; "
+        "p := &a; q := &b; *p := 1; *q := 2; }"
+    )
+
+    def test_distinct_targets_do_not_alias(self):
+        analysis = analyze(self.DISTINCT)
+        assert not analysis.may_alias("l:main:p", "l:main:q")
+
+    def test_copy_unifies(self):
+        analysis = analyze(
+            "var a: uint32; void main() { "
+            "var p: ptr<uint32> := null; var q: ptr<uint32> := null; "
+            "p := &a; q := p; *q := 1; }"
+        )
+        assert analysis.may_alias("l:main:p", "l:main:q")
+
+    def test_unification_is_symmetric_and_transitive(self):
+        analysis = analyze(
+            "var a: uint32; void main() { "
+            "var p: ptr<uint32> := null; var q: ptr<uint32> := null; "
+            "var r: ptr<uint32> := null; p := &a; q := p; r := q; }"
+        )
+        assert analysis.may_alias("l:main:p", "l:main:r")
+        assert analysis.may_alias("l:main:r", "l:main:p")
+
+    def test_shared_target_unifies(self):
+        # Steensgaard (not Andersen): p and q both pointing at a merges
+        # their points-to sets.
+        analysis = analyze(
+            "var a: uint32; void main() { "
+            "var p: ptr<uint32> := null; var q: ptr<uint32> := null; "
+            "p := &a; q := &a; }"
+        )
+        assert analysis.may_alias("l:main:p", "l:main:q")
+
+    def test_allocation_sites_distinct(self):
+        analysis = analyze(
+            "void main() { var p: ptr<uint32> := null; "
+            "var q: ptr<uint32> := null; "
+            "p := malloc(uint32); q := malloc(uint32); }"
+        )
+        assert not analysis.may_alias("l:main:p", "l:main:q")
+
+    def test_pointer_offset_stays_in_region(self):
+        analysis = analyze(
+            "var arr: uint32[4]; var b: uint32; void main() { "
+            "var p: ptr<uint32> := null; var q: ptr<uint32> := null; "
+            "var r: ptr<uint32> := null; "
+            "p := &arr[0]; q := p + 1; r := &b; }"
+        )
+        assert analysis.may_alias("l:main:p", "l:main:q")
+        assert not analysis.may_alias("l:main:p", "l:main:r")
+
+    def test_global_pointers(self):
+        analysis = analyze(
+            "var a: uint32; var gp: ptr<uint32>; "
+            "void main() { gp := &a; }"
+        )
+        assert "g:gp" in {
+            loc for locs in analysis.regions().values() for loc in locs
+        } or analysis.region_of("g:gp") is not None
+
+
+class TestLemmaGeneration:
+    def test_region_lemmas_include_noalias(self):
+        ctx = check_level("level L { " + TestSteensgaard.DISTINCT + " }")
+        lemmas = region_lemmas(ctx)
+        names = [l.name for l in lemmas]
+        assert any(n.startswith("NoAlias_") for n in names)
+        assert "RegionAssignment" in names
+        assert "RegionInvariantInductive" in names
+
+    def test_noalias_obligations_verify(self):
+        ctx = check_level("level L { " + TestSteensgaard.DISTINCT + " }")
+        for lemma in region_lemmas(ctx):
+            if lemma.obligation is not None:
+                assert lemma.obligation().ok, lemma.name
+
+    def test_address_invariant_simpler(self):
+        ctx = check_level("level L { " + TestSteensgaard.DISTINCT + " }")
+        lemmas = address_invariant_lemmas(ctx)
+        assert len(lemmas) == 1
+        assert lemmas[0].obligation().ok

@@ -1,0 +1,129 @@
+"""Tests for name resolution."""
+
+import pytest
+
+from repro.errors import ResolveError
+from repro.lang import asts as ast
+from repro.lang import types as ty
+from repro.lang.parser import parse_program
+from repro.lang.resolver import resolve_level
+
+
+def resolve(source: str):
+    program = parse_program(source)
+    return resolve_level(program.levels[0])
+
+
+class TestGlobalsAndStructs:
+    def test_globals_collected(self):
+        ctx = resolve("level L { var x: uint32; var y: uint64; }")
+        assert set(ctx.globals) == {"x", "y"}
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(ResolveError):
+            resolve("level L { var x: uint32; var x: uint64; }")
+
+    def test_struct_reference_resolved(self):
+        ctx = resolve(
+            "level L { struct S { var a: uint32; } var s: S; }"
+        )
+        t = ctx.globals["s"].var_type
+        assert isinstance(t, ty.StructType)
+        assert t.field_type("a") == ty.UINT32
+
+    def test_unknown_struct_rejected(self):
+        with pytest.raises(ResolveError):
+            resolve("level L { var s: Missing; }")
+
+    def test_nested_structs(self):
+        ctx = resolve(
+            "level L { struct Inner { var v: uint8; } "
+            "struct Outer { var i: Inner; var arr: Inner[2]; } "
+            "var o: Outer; }"
+        )
+        outer = ctx.globals["o"].var_type
+        inner = outer.field_type("i")
+        assert inner.field_type("v") == ty.UINT8
+        assert outer.field_type("arr").element == inner
+
+    def test_recursive_struct_through_pointer_ok(self):
+        ctx = resolve(
+            "level L { struct Node { var next: ptr<Node>; "
+            "var v: uint64; } var head: ptr<Node>; }"
+        )
+        node = ctx.structs["Node"]
+        assert isinstance(node.field_type("next"), ty.PtrType)
+
+    def test_duplicate_struct_rejected(self):
+        with pytest.raises(ResolveError):
+            resolve("level L { struct S { } struct S { } }")
+
+
+class TestMethodsAndLocals:
+    def test_locals_and_params(self):
+        ctx = resolve(
+            "level L { void m(p: uint32) { var x: uint64 := 0; } }"
+        )
+        assert ctx.local("m", "p").is_param
+        assert ctx.local("m", "x").type == ty.UINT64
+
+    def test_duplicate_local_rejected_flat_frames(self):
+        # §3.2.2: frames are flat datatypes, one field per local.
+        with pytest.raises(ResolveError):
+            resolve(
+                "level L { void m() { var x: uint32 := 0; "
+                "if x > 0 { var x: uint32 := 1; } } }"
+            )
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ResolveError):
+            resolve("level L { void m() { nope := 1; } }")
+
+    def test_unknown_method_call_rejected(self):
+        with pytest.raises(ResolveError):
+            resolve("level L { void m() { x := missing(); } }")
+
+    def test_prelude_methods_available(self):
+        ctx = resolve("level L { var mu: uint64; "
+                      "void m() { lock(&mu); } }")
+        assert "lock" in ctx.methods
+        assert "compare_and_swap" in ctx.methods
+
+    def test_address_taken_tracking(self):
+        ctx = resolve(
+            "level L { var g: uint32; void m() { "
+            "var a: uint32 := 0; var b: uint32 := 0; "
+            "var p: ptr<uint32> := null; "
+            "p := &a; p := &g; b := b + 1; } }"
+        )
+        assert ctx.local("m", "a").address_taken
+        assert not ctx.local("m", "b").address_taken
+        assert "g" in ctx.addressed_globals
+
+    def test_uninterpreted_ghost_functions_collected(self):
+        ctx = resolve(
+            "level L { void m() { assert valid_soln(1); } }"
+        )
+        assert "valid_soln" in ctx.uninterpreted
+
+    def test_ghost_builtin_rhs_demoted(self):
+        ctx = resolve(
+            "level L { ghost var q: seq<int>; void m() "
+            "{ q := drop(q, 1); } }"
+        )
+        program_stmt = ctx.level.methods[0].body.stmts[0]
+        assert isinstance(program_stmt.rhss[0], ast.ExprRhs)
+
+    def test_meta_variables_allowed(self):
+        ctx = resolve("level L { void m() { assert $me >= 0; } }")
+        assert ctx is not None
+
+    def test_unknown_meta_variable_rejected(self):
+        with pytest.raises(ResolveError):
+            resolve("level L { void m() { assert $bogus == 0; } }")
+
+    def test_quantifier_binds_its_variable(self):
+        ctx = resolve(
+            "level L { void m() { assert forall k: int . k == k; } }"
+        )
+        assert ctx is not None

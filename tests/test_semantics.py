@@ -1,0 +1,306 @@
+"""End-to-end semantic tests: whole programs explored exhaustively.
+
+Each test states a program and the exact set of its observable outcomes
+(termination kind, console log) under *all* interleavings, including
+x86-TSO store-buffer behaviours (§3.2).
+"""
+
+import pytest
+
+from repro.explore.explorer import final_logs
+from repro.lang.frontend import check_level
+from repro.machine.translator import translate_level
+
+
+def outcomes(source: str, max_states: int = 500_000):
+    machine = translate_level(check_level("level L { " + source + " }"))
+    return final_logs(machine, max_states)
+
+
+def logs_of(source: str, kind: str = "normal"):
+    return {log for k, log in outcomes(source) if k == kind}
+
+
+def kinds_of(source: str):
+    return {k for k, _ in outcomes(source)}
+
+
+class TestSequential:
+    def test_arithmetic_and_print(self):
+        assert logs_of(
+            "void main() { var x: uint32 := 0; x := 2 + 3 * 4; "
+            "print_uint32(x); }"
+        ) == {(14,)}
+
+    def test_while_loop(self):
+        assert logs_of(
+            "void main() { var i: uint32 := 0; var s: uint32 := 0; "
+            "while i < 5 { s := s + i; i := i + 1; } print_uint32(s); }"
+        ) == {(10,)}
+
+    def test_break_and_continue(self):
+        assert logs_of(
+            "void main() { var i: uint32 := 0; var s: uint32 := 0; "
+            "while true { i := i + 1; if i == 3 { continue; } "
+            "if i > 5 { break; } s := s + i; } print_uint32(s); }"
+        ) == {(1 + 2 + 4 + 5,)}
+
+    def test_method_call_and_return_value(self):
+        assert logs_of(
+            "uint32 double(n: uint32) { return n + n; } "
+            "void main() { var r: uint32 := 0; r := double(21); "
+            "print_uint32(r); }"
+        ) == {(42,)}
+
+    def test_recursion(self):
+        assert logs_of(
+            "uint32 fact(n: uint32) { var r: uint32 := 0; "
+            "if n <= 1 { return 1; } r := fact(n - 1); return n * r; } "
+            "void main() { var r: uint32 := 0; r := fact(5); "
+            "print_uint32(r); }"
+        ) == {(120,)}
+
+    def test_struct_field_updates(self):
+        assert logs_of(
+            "struct P { var x: uint32; var y: uint32; } var p: P; "
+            "void main() { var t: uint32 := 0; p.x := 3; p.y := 4; "
+            "t := p.x; print_uint32(t); }"
+        ) == {(3,)}
+
+    def test_array_indexing(self):
+        assert logs_of(
+            "var a: uint32[3]; void main() { var i: uint32 := 0; "
+            "while i < 3 { a[i] := i * 10; i := i + 1; } "
+            "var t: uint32 := 0; t := a[2]; print_uint32(t); }"
+        ) == {(20,)}
+
+    def test_nondet_guard_both_branches(self):
+        assert logs_of(
+            "void main() { if (*) { print_uint32(1); } "
+            "else { print_uint32(2); } }"
+        ) == {(1,), (2,)}
+
+
+class TestTermination:
+    def test_assert_failure(self):
+        assert kinds_of("void main() { assert 1 == 2; }") == \
+            {"assert_failure"}
+
+    def test_assert_success(self):
+        assert kinds_of("void main() { assert 1 < 2; }") == {"normal"}
+
+    def test_division_by_zero_is_ub(self):
+        assert kinds_of(
+            "void main() { var a: uint32 := 1; var b: uint32 := 0; "
+            "a := a / b; }"
+        ) == {"undefined_behavior"}
+
+    def test_signed_overflow_is_ub(self):
+        assert kinds_of(
+            "void main() { var a: int32 := 2147483647; a := a + 1; }"
+        ) == {"undefined_behavior"}
+
+    def test_unsigned_wraps_silently(self):
+        assert logs_of(
+            "void main() { var a: uint32 := 4294967295; a := a + 1; "
+            "print_uint32(a); }"
+        ) == {(0,)}
+
+    def test_assume_false_blocks_forever(self):
+        # An unsatisfiable enablement condition deadlocks the thread.
+        assert kinds_of("void main() { assume false; }") == {"deadlock"}
+
+
+class TestHeap:
+    def test_malloc_write_read(self):
+        assert logs_of(
+            "void main() { var p: ptr<uint32> := null; var t: uint32 := 0;"
+            " p := malloc(uint32); *p := 9; t := *p; print_uint32(t); }"
+        ) == {(9,)}
+
+    def test_use_after_free_is_ub(self):
+        assert "undefined_behavior" in kinds_of(
+            "void main() { var p: ptr<uint32> := null; "
+            "p := malloc(uint32); dealloc p; *p := 1; }"
+        )
+
+    def test_null_deref_is_ub(self):
+        assert kinds_of(
+            "void main() { var p: ptr<uint32> := null; *p := 1; }"
+        ) == {"undefined_behavior"}
+
+    def test_malloc_may_fail_with_null(self):
+        kinds = kinds_of(
+            "void main() { var p: ptr<uint32> := null; "
+            "p := malloc(uint32); *p := 1; }"
+        )
+        # Success path terminates normally; the failure path derefs null.
+        assert kinds == {"normal", "undefined_behavior"}
+
+    def test_calloc_zero_initializes(self):
+        assert logs_of(
+            "void main() { var p: ptr<uint32> := null; var t: uint32 := 0;"
+            " p := calloc(uint32, 3); t := p[2]; print_uint32(t); }"
+        ) == {(0,)}
+
+    def test_pointer_into_freed_frame_is_ub(self):
+        assert "undefined_behavior" in kinds_of(
+            "var keep: ptr<uint32>; "
+            "void helper() { var x: uint32 := 0; keep := &x; } "
+            "void main() { helper(); *keep := 1; }"
+        )
+
+    def test_pointer_arithmetic_within_array(self):
+        assert logs_of(
+            "var arr: uint32[4]; void main() { "
+            "var p: ptr<uint32> := null; var t: uint32 := 0; "
+            "arr[2] := 5; p := &arr[0]; p := p + 2; t := *p; "
+            "print_uint32(t); }"
+        ) == {(5,)}
+
+    def test_pointer_arithmetic_out_of_bounds_is_ub(self):
+        assert "undefined_behavior" in kinds_of(
+            "var arr: uint32[4]; void main() { "
+            "var p: ptr<uint32> := null; p := &arr[0]; p := p + 5; }"
+        )
+
+    def test_allocated_predicate_via_ghost_level(self):
+        assert kinds_of(
+            "void main() { var p: ptr<uint32> := null; "
+            "p := malloc(uint32); assert allocated(p); dealloc p; "
+            "assert !allocated(p); }"
+        ) <= {"normal", "assert_failure"}
+
+
+class TestConcurrency:
+    def test_store_buffering_litmus(self):
+        # The defining x86-TSO weak behaviour: both loads may see 0.
+        logs = logs_of(
+            "var x: uint32; var y: uint32; "
+            "var r1: uint32; var r2: uint32; "
+            "void t1() { x := 1; r1 := y; } "
+            "void main() { var a: uint64 := 0; a := create_thread t1(); "
+            "y := 1; r2 := x; join a; "
+            "var s1: uint32 := 0; var s2: uint32 := 0; "
+            "s1 := r1; s2 := r2; print_uint32(s1); print_uint32(s2); }"
+        )
+        assert (0, 0) in logs
+        assert logs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_fence_forbids_sb_weakness(self):
+        logs = logs_of(
+            "var x: uint32; var y: uint32; "
+            "var r1: uint32; var r2: uint32; "
+            "void t1() { x := 1; fence(); r1 := y; fence(); } "
+            "void main() { var a: uint64 := 0; a := create_thread t1(); "
+            "y := 1; fence(); r2 := x; join a; "
+            "var s1: uint32 := 0; var s2: uint32 := 0; "
+            "s1 := r1; s2 := r2; print_uint32(s1); print_uint32(s2); }"
+        )
+        assert (0, 0) not in logs
+
+    def test_message_passing_respects_tso_fifo(self):
+        # TSO store buffers are FIFO: if the reader sees the flag, it
+        # sees the data.
+        logs = logs_of(
+            "var data: uint32; var flag: uint32; "
+            "void writer() { data := 42; flag := 1; } "
+            "void main() { var a: uint64 := 0; var f: uint32 := 0; "
+            "var d: uint32 := 0; a := create_thread writer(); "
+            "while f == 0 { f := flag; } d := data; join a; "
+            "print_uint32(d); }"
+        )
+        assert logs == {(42,)}
+
+    def test_mutex_provides_mutual_exclusion(self):
+        logs = logs_of(
+            "var x: uint32; var mu: uint64; "
+            "void worker() { var t: uint32 := 0; lock(&mu); t := x; "
+            "x := t + 1; unlock(&mu); } "
+            "void main() { var a: uint64 := 0; var t: uint32 := 0; "
+            "initialize_mutex(&mu); a := create_thread worker(); "
+            "lock(&mu); t := x; x := t + 1; unlock(&mu); join a; "
+            "t := x; print_uint32(t); }"
+        )
+        assert logs == {(2,)}
+
+    def test_unlocked_counter_loses_updates(self):
+        logs = logs_of(
+            "var x: uint32; "
+            "void worker() { var t: uint32 := 0; t := x; x := t + 1; } "
+            "void main() { var a: uint64 := 0; var t: uint32 := 0; "
+            "a := create_thread worker(); t := x; x := t + 1; join a; "
+            "t := x; print_uint32(t); }"
+        )
+        assert logs == {(1,), (2,)}
+
+    def test_terminated_thread_buffer_still_drains(self):
+        # Regression: a thread may exit with pending stores; the
+        # hardware still writes them back.  Here the worker's final
+        # (buffered) store must be observable after its exit, or the
+        # main thread would spin forever.
+        logs = logs_of(
+            "var flag: uint32; "
+            "void worker() { flag := 1; } "
+            "void main() { var h: uint64 := 0; var f: uint32 := 0; "
+            "h := create_thread worker(); join h; "
+            "while f == 0 { f := flag; } print_uint32(f); }"
+        )
+        assert logs == {(1,)}
+
+    def test_join_waits_for_termination(self):
+        logs = logs_of(
+            "var x: uint32; "
+            "void worker() { x := 7; } "
+            "void main() { var a: uint64 := 0; var t: uint32 := 0; "
+            "a := create_thread worker(); join a; t := x; "
+            "print_uint32(t); }"
+        )
+        # Even after join, the worker's buffered write may still be in
+        # its store buffer (drains are asynchronous).
+        assert (7,) in logs
+
+    def test_atomic_block_not_interleaved(self):
+        logs = logs_of(
+            "var x: uint32; "
+            "void worker() { atomic { x := 10; x := x + 1; } } "
+            "void main() { var a: uint64 := 0; var t: uint32 := 0; "
+            "a := create_thread worker(); t := x; join a; "
+            "print_uint32(t); }"
+        )
+        # Main reads either before (0) or after (10? no: after the
+        # atomic block both writes are buffered...). Main can never
+        # observe only a *partial* atomic effect from memory in a way
+        # that exposes x == 10 ordering violations with x == 11 later.
+        assert (0,) in logs
+
+    def test_compare_and_swap(self):
+        logs = logs_of(
+            "var t0: uint64; "
+            "void main() { var ok: bool := false; var t: uint64 := 0; "
+            "ok := compare_and_swap(&t0, 0, 5); assert ok; "
+            "ok := compare_and_swap(&t0, 0, 9); assert !ok; "
+            "t := t0; print_uint64(t); }"
+        )
+        assert logs == {(5,)}
+
+    def test_atomic_fetch_add(self):
+        logs = logs_of(
+            "var c: uint64; "
+            "void worker() { var o: uint64 := 0; "
+            "o := atomic_fetch_add(&c, 2); } "
+            "void main() { var a: uint64 := 0; var o: uint64 := 0; "
+            "var t: uint64 := 0; a := create_thread worker(); "
+            "o := atomic_fetch_add(&c, 3); join a; t := c; "
+            "print_uint64(t); }"
+        )
+        assert logs == {(5,)}
+
+    def test_somehow_constrains_havoc(self):
+        logs = logs_of(
+            "var x: uint32; "
+            "void main() { var t: uint32 := 0; x := 3; "
+            "somehow modifies x ensures x == old(x) + 1; "
+            "t := x; print_uint32(t); }"
+        )
+        assert logs == {(4,)}

@@ -1,0 +1,226 @@
+"""Unit tests for individual step semantics (enabledness, effects,
+encapsulated nondeterminism, atomic-region scheduling)."""
+
+import pytest
+
+from repro.lang.frontend import check_level
+from repro.machine.program import DomainConfig, Transition
+from repro.machine.steps import (
+    AssumeStep,
+    BranchStep,
+    ExternStep,
+    JoinStep,
+    MallocStep,
+    SomehowStep,
+)
+from repro.machine.translator import translate_level
+from repro.machine.values import Location, Root
+
+
+def setup(source: str):
+    machine = translate_level(check_level("level L { " + source + " }"))
+    return machine, machine.initial_state()
+
+
+def run_until(machine, state, predicate, limit=500):
+    """Advance deterministically (first transition) until *predicate*."""
+    for _ in range(limit):
+        if predicate(state):
+            return state
+        transitions = machine.enabled_transitions(state)
+        if not transitions:
+            return state
+        state = machine.next_state(state, transitions[0])
+    raise AssertionError("predicate never satisfied")
+
+
+class TestEnabledness:
+    def test_branch_directions_mutually_exclusive(self):
+        machine, state = setup(
+            "void main() { var x: uint32 := 5; if x > 3 { } }"
+        )
+        state = run_until(
+            machine, state,
+            lambda s: s.running and machine.pcs[
+                s.thread(1).pc
+            ].kind == "guard" if s.thread(1).pc else False,
+        )
+        enabled = machine.enabled_transitions(state)
+        branches = [t for t in enabled
+                    if isinstance(t.step, BranchStep)]
+        assert len(branches) == 1
+        assert branches[0].step.when is True
+
+    def test_nondet_branch_both_enabled(self):
+        machine, state = setup("void main() { if (*) { } }")
+        enabled = machine.enabled_transitions(state)
+        branches = [t for t in enabled if isinstance(t.step, BranchStep)]
+        assert {b.step.when for b in branches} == {True, False}
+
+    def test_assume_blocks_until_true(self):
+        machine, state = setup(
+            "var x: uint32; void main() { assume x == 1; }"
+        )
+        enabled = machine.enabled_transitions(state)
+        assert not any(isinstance(t.step, AssumeStep) for t in enabled
+                       if t.step)
+        loc = Location(Root("global", "x"))
+        state2 = state.with_memory(loc, 1)
+        enabled2 = machine.enabled_transitions(state2)
+        assert any(isinstance(t.step, AssumeStep) for t in enabled2
+                   if t.step)
+
+    def test_lock_blocks_when_held(self):
+        machine, state = setup(
+            "var mu: uint64; void main() { lock(&mu); lock(&mu); }"
+        )
+        # Acquire once.
+        state = machine.next_state(
+            state, machine.enabled_transitions(state)[0]
+        )
+        # The second lock on the same mutex is disabled (self-deadlock).
+        enabled = machine.enabled_transitions(state)
+        assert not enabled
+
+    def test_join_blocks_until_target_terminates(self):
+        machine, state = setup(
+            "var x: uint32; void worker() { x ::= 1; } "
+            "void main() { var h: uint64 := 0; "
+            "h := create_thread worker(); join h; }"
+        )
+        state = run_until(
+            machine, state,
+            lambda s: s.thread(1).pc is not None
+            and machine.pcs[s.thread(1).pc].kind == "join",
+        )
+        joins = [
+            t for t in machine.enabled_transitions(state)
+            if t.step is not None and isinstance(t.step, JoinStep)
+        ]
+        worker_done = state.threads[2].terminated
+        assert bool(joins) == worker_done
+
+
+class TestEncapsulatedNondeterminism:
+    def test_malloc_has_alloc_parameter(self):
+        machine, state = setup(
+            "void main() { var p: ptr<uint32> := null; "
+            "p := malloc(uint32); }"
+        )
+        malloc_step = next(
+            s for s in machine.all_steps() if isinstance(s, MallocStep)
+        )
+        variables = malloc_step.nondet_vars()
+        assert len(variables) == 1
+        assert variables[0].kind == "alloc"
+
+    def test_somehow_has_havoc_parameters(self):
+        machine, state = setup(
+            "var x: uint32; var y: uint32; "
+            "void main() { somehow modifies x, y; }"
+        )
+        step = next(
+            s for s in machine.all_steps() if isinstance(s, SomehowStep)
+        )
+        assert len(step.nondet_vars()) == 2
+        assert all(v.kind == "havoc" for v in step.nondet_vars())
+
+    def test_next_state_is_deterministic(self):
+        machine, state = setup(
+            "void main() { var x: uint32; if (*) { } }"
+        )
+        for transition in machine.enabled_transitions(state):
+            a = machine.next_state(state, transition)
+            b = machine.next_state(state, transition)
+            assert a == b
+
+    def test_domain_config_override(self):
+        machine, state = setup(
+            "var x: uint32; void main() { x := *; }"
+        )
+        machine.domains = DomainConfig(int_values=(7, 8, 9))
+        values = set()
+        for transition in machine.enabled_transitions(state):
+            nxt = machine.next_state(state, transition)
+            loc = Location(Root("global", "x"))
+            nxt = nxt.drain_one(1) if not nxt.thread(1).sb_empty else nxt
+            values.add(nxt.memory.get(loc))
+        assert values == {7, 8, 9}
+
+    def test_witness_candidates_from_ensures(self):
+        machine, state = setup(
+            "var x: uint32; void main() "
+            "{ x := 1; somehow modifies x ensures x == old(x) + 41; }"
+        )
+        # Run to the somehow, then check 42 is among its parameter
+        # assignments even though the default domain is {0, 1}.
+        state = run_until(
+            machine, state,
+            lambda s: s.thread(1).pc is not None
+            and machine.pcs[s.thread(1).pc].kind == "somehow"
+            and s.thread(1).sb_empty,
+        )
+        step = machine.steps_at(state.thread(1).pc)[0]
+        assignments = machine.param_assignments(step, "main", state, 1)
+        values = {dict(p).popitem()[1] for p in assignments if p}
+        assert 42 in values
+
+
+class TestAtomicScheduling:
+    SOURCE = (
+        "var x: uint32; "
+        "void worker() { atomic { x ::= 1; x ::= 2; x ::= 3; } } "
+        "void main() { var h: uint64 := 0; var t: uint32 := 0; "
+        "h := create_thread worker(); t := x; join h; }"
+    )
+
+    def test_owner_excludes_other_threads(self):
+        machine, state = setup(self.SOURCE)
+        # Drive the worker into the atomic region.
+        for _ in range(200):
+            transitions = machine.enabled_transitions(state)
+            if state.atomic_owner == 2:
+                break
+            worker_steps = [t for t in transitions if t.tid == 2]
+            state = machine.next_state(
+                state, worker_steps[0] if worker_steps else transitions[0]
+            )
+        assert state.atomic_owner == 2
+        tids = {t.tid for t in machine.enabled_transitions(state)}
+        assert tids == {2}
+
+    def test_owner_cleared_at_region_exit(self):
+        machine, state = setup(self.SOURCE)
+        from repro.runtime.interpreter import run_level
+
+        result = run_level(machine)
+        assert result.termination_kind == "normal"
+        assert result.state.atomic_owner is None
+
+
+class TestExternSemantics:
+    def test_unlock_by_non_owner_is_ub(self):
+        machine, state = setup(
+            "var mu: uint64; void other() { unlock(&mu); } "
+            "void main() { var h: uint64 := 0; lock(&mu); "
+            "h := create_thread other(); join h; }"
+        )
+        from repro.explore.explorer import Explorer
+
+        result = Explorer(machine).explore()
+        assert result.has_ub
+        assert any("not held" in r for r in result.ub_reasons)
+
+    def test_fence_requires_empty_buffer(self):
+        machine, state = setup(
+            "var x: uint32; void main() { x := 1; fence(); }"
+        )
+        state = machine.next_state(
+            state, machine.enabled_transitions(state)[0]
+        )  # buffered write
+        fences = [
+            t for t in machine.enabled_transitions(state)
+            if t.step is not None and isinstance(t.step, ExternStep)
+        ]
+        if not state.thread(1).sb_empty:
+            assert not fences  # only the drain is enabled

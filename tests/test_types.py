@@ -1,0 +1,204 @@
+"""Tests for the Armada type system and value helpers."""
+
+import pytest
+
+from repro.lang import types as ty
+from repro.machine import values as val
+
+
+class TestIntType:
+    def test_uint32_range(self):
+        assert ty.UINT32.min_value == 0
+        assert ty.UINT32.max_value == 0xFFFFFFFF
+
+    def test_int8_range(self):
+        assert ty.INT8.min_value == -128
+        assert ty.INT8.max_value == 127
+
+    def test_unsigned_wrap(self):
+        assert ty.UINT8.wrap(256) == 0
+        assert ty.UINT8.wrap(257) == 1
+        assert ty.UINT8.wrap(-1) == 255
+
+    def test_signed_wrap_two_complement(self):
+        assert ty.INT8.wrap(128) == -128
+        assert ty.INT8.wrap(255) == -1
+        assert ty.INT8.wrap(-129) == 127
+
+    def test_wrap_identity_in_range(self):
+        for value in (0, 1, 127, -128):
+            assert ty.INT8.wrap(value) == value
+
+    def test_contains(self):
+        assert ty.UINT16.contains(65535)
+        assert not ty.UINT16.contains(65536)
+        assert not ty.UINT16.contains(-1)
+
+    def test_str(self):
+        assert str(ty.UINT64) == "uint64"
+        assert str(ty.INT32) == "int32"
+
+    def test_is_core(self):
+        assert ty.UINT32.is_core()
+        assert not ty.MATHINT.is_core()
+
+
+class TestCompositeTypes:
+    def test_pointer_str(self):
+        assert str(ty.PtrType(ty.UINT32)) == "ptr<uint32>"
+
+    def test_array_str(self):
+        assert str(ty.ArrayType(ty.UINT8, 4)) == "uint8[4]"
+
+    def test_struct_nominal_equality(self):
+        a = ty.StructType("S", (ty.StructField("x", ty.UINT32),))
+        b = ty.StructType("S", ())
+        assert a == b  # nominal: same name
+        assert hash(a) == hash(b)
+
+    def test_struct_field_lookup(self):
+        s = ty.StructType(
+            "S",
+            (ty.StructField("a", ty.UINT8), ty.StructField("b", ty.UINT16)),
+        )
+        assert s.field_type("b") == ty.UINT16
+        assert s.field_index("b") == 1
+        assert s.field_type("zzz") is None
+
+    def test_struct_core_depends_on_fields(self):
+        core = ty.StructType("A", (ty.StructField("x", ty.UINT8),))
+        ghost = ty.StructType("B", (ty.StructField("x", ty.MATHINT),))
+        assert core.is_core()
+        assert not ghost.is_core()
+
+    def test_ghost_types_not_core(self):
+        assert not ty.SeqType(ty.UINT8).is_core()
+        assert not ty.MapType(ty.UINT8, ty.UINT8).is_core()
+        assert not ty.OptionType(ty.UINT64).is_core()
+
+
+class TestAssignability:
+    def test_same_type(self):
+        assert ty.assignable(ty.UINT32, ty.UINT32)
+
+    def test_no_implicit_narrowing(self):
+        assert not ty.assignable(ty.UINT8, ty.UINT32)
+        assert not ty.assignable(ty.UINT32, ty.UINT8)
+
+    def test_fixed_flows_into_mathint(self):
+        assert ty.assignable(ty.MATHINT, ty.UINT64)
+        assert ty.assignable(ty.MATHINT, ty.INT8)
+
+    def test_null_pointer_into_any_pointer(self):
+        null_type = ty.PtrType(ty.VOID)
+        assert ty.assignable(ty.PtrType(ty.UINT32), null_type)
+
+    def test_pointer_types_invariant(self):
+        assert not ty.assignable(
+            ty.PtrType(ty.UINT32), ty.PtrType(ty.UINT64)
+        )
+
+    def test_none_option_into_any_option(self):
+        assert ty.assignable(
+            ty.OptionType(ty.UINT64), ty.OptionType(ty.VOID)
+        )
+
+    def test_join_integer(self):
+        assert ty.join_integer(ty.UINT8, ty.UINT8) == ty.UINT8
+        assert ty.join_integer(ty.MATHINT, ty.UINT8) == ty.MATHINT
+        assert ty.join_integer(ty.UINT8, ty.UINT16) is None
+        assert ty.join_integer(ty.BOOL, ty.UINT8) is None
+
+
+class TestDefaults:
+    def test_scalar_defaults(self):
+        assert val.default_value(ty.UINT32) == 0
+        assert val.default_value(ty.BOOL) is False
+        assert val.default_value(ty.PtrType(ty.UINT8)) == val.NULL
+
+    def test_array_default(self):
+        d = val.default_value(ty.ArrayType(ty.UINT8, 3))
+        assert isinstance(d, val.CompositeValue)
+        assert d.children == (0, 0, 0)
+
+    def test_struct_default(self):
+        s = ty.StructType(
+            "S",
+            (ty.StructField("a", ty.UINT8),
+             ty.StructField("b", ty.ArrayType(ty.BOOL, 2))),
+        )
+        d = val.default_value(s)
+        assert d.children[0] == 0
+        assert d.children[1].children == (False, False)
+
+    def test_ghost_defaults(self):
+        assert val.default_value(ty.SeqType(ty.UINT8)) == ()
+        assert val.default_value(ty.SetType(ty.UINT8)) == frozenset()
+        assert val.default_value(ty.OptionType(ty.UINT8)) == \
+            val.NONE_OPTION
+        assert len(val.default_value(ty.MapType(ty.UINT8, ty.UINT8))) == 0
+
+
+class TestLocations:
+    def test_leaf_locations_scalar(self):
+        root = val.Root("global", "x")
+        leaves = val.leaf_locations(root, ty.UINT32)
+        assert len(leaves) == 1
+        assert leaves[0][0] == val.Location(root)
+
+    def test_leaf_locations_nested(self):
+        s = ty.StructType(
+            "S",
+            (ty.StructField("a", ty.ArrayType(ty.UINT8, 2)),
+             ty.StructField("b", ty.UINT16)),
+        )
+        root = val.Root("alloc", "", 7)
+        leaves = val.leaf_locations(root, s)
+        paths = [loc.path for loc, _ in leaves]
+        assert paths == [(0, 0), (0, 1), (1,)]
+        assert leaves[2][1] == ty.UINT16
+
+    def test_type_at_path(self):
+        s = ty.StructType(
+            "S", (ty.StructField("a", ty.ArrayType(ty.UINT8, 2)),)
+        )
+        assert val.type_at_path(s, (0, 1)) == ty.UINT8
+        assert val.type_at_path(s, (0,)) == ty.ArrayType(ty.UINT8, 2)
+
+    def test_child_type_bounds(self):
+        with pytest.raises(IndexError):
+            val.child_type(ty.ArrayType(ty.UINT8, 2), 2)
+        with pytest.raises(ValueError):
+            val.child_type(ty.UINT8, 0)
+
+    def test_location_child_and_str(self):
+        root = val.Root("global", "arr")
+        loc = val.Location(root).child(3)
+        assert loc.path == (3,)
+        assert "arr" in str(loc)
+
+
+class TestGhostValues:
+    def test_option(self):
+        assert val.some(5).is_some
+        assert val.some(5).value == 5
+        assert not val.NONE_OPTION.is_some
+        assert val.some(5) != val.NONE_OPTION
+
+    def test_ghost_map_immutable_update(self):
+        m = val.GhostMap()
+        m2 = m.set("k", 1)
+        assert "k" not in m
+        assert m2["k"] == 1
+        assert m2.remove("k") == m
+
+    def test_ghost_map_hash_eq(self):
+        a = val.GhostMap({"x": 1})
+        b = val.GhostMap().set("x", 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_composite_with_child(self):
+        c = val.CompositeValue((1, 2, 3))
+        assert c.with_child(1, 9).children == (1, 9, 3)
+        assert c.children == (1, 2, 3)  # original untouched
