@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.farm import VerificationFarm
 from repro.lang.frontend import check_program
 from repro.machine.program import DomainConfig
 from repro.proofs.engine import ChainOutcome, ProofEngine
@@ -113,13 +114,18 @@ def run_case_study(
     study: CaseStudy,
     max_states: int | None = None,
     validate_refinement: str = "auto",
+    farm: VerificationFarm | None = None,
 ) -> CaseStudyReport:
-    """Check, translate, and verify a complete case study."""
+    """Check, translate, and verify a complete case study.
+
+    ``farm`` routes lemma discharge through a shared verification farm
+    (worker pool + proof cache); the default is sequential/uncached."""
     checked = check_program(study.source, filename=f"<{study.name}>")
     engine = ProofEngine(
         checked,
         max_states=max_states or study.max_states,
         validate_refinement=validate_refinement,
+        farm=farm,
     )
     outcome = engine.run_all()
     return CaseStudyReport(study, outcome)

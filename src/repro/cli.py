@@ -13,15 +13,36 @@ Mirrors the workflow of Figure 1:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.errors import ArmadaError
+
+#: Default proof-cache directory for ``armada verify``.
+DEFAULT_CACHE_DIR = ".armada-cache"
+
+
+def _default_cache_dir() -> str:
+    """Resolved at parse time so $ARMADA_CACHE_DIR can redirect it."""
+    return os.environ.get("ARMADA_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def _read_source(path: str) -> str:
+    """Read a program file, exiting 1 with a one-line error on failure
+    instead of tracebacking."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except (FileNotFoundError, IsADirectoryError, PermissionError,
+            UnicodeDecodeError, OSError) as error:
+        print(f"armada: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(1)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.lang.frontend import check_program
 
-    source = open(args.file).read()
+    source = _read_source(args.file)
     checked = check_program(source, args.file)
     print(f"checked {len(checked.program.levels)} level(s), "
           f"{len(checked.program.proofs)} proof(s)")
@@ -29,13 +50,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.proofs.engine import verify_source
+    from repro.farm import FarmConfig, VerificationFarm
+    from repro.lang.frontend import check_program
+    from repro.proofs.engine import ProofEngine
 
-    source = open(args.file).read()
-    outcome = verify_source(
-        source, args.file, max_states=args.max_states,
-        validate_refinement=args.validate,
+    source = _read_source(args.file)
+    farm = VerificationFarm(
+        FarmConfig(
+            jobs=args.jobs,
+            mode=args.farm_mode,
+            cache_dir=None if args.no_cache else args.cache,
+        )
     )
+    checked = check_program(source, args.file)
+    engine = ProofEngine(
+        checked, max_states=args.max_states,
+        validate_refinement=args.validate, farm=farm,
+    )
+    outcome = engine.run_all()
     for result in outcome.outcomes:
         status = "verified" if result.success else "FAILED"
         print(
@@ -48,6 +80,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"  {result.error}")
     if outcome.chain:
         print("refinement chain:", " -> ".join(outcome.chain))
+    elif outcome.chain_error:
+        print(f"chain error: {outcome.chain_error}")
+    print(farm.summary_line())
+    if args.farm_report:
+        for line in farm.report_lines():
+            print(line)
     return 0 if outcome.success else 1
 
 
@@ -56,7 +94,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.compiler.pybackend import compile_to_python
     from repro.lang.frontend import check_program
 
-    source = open(args.file).read()
+    source = _read_source(args.file)
     checked = check_program(source, args.file)
     level = args.level or checked.program.levels[0].name
     ctx = checked.contexts.get(level)
@@ -75,7 +113,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.machine.translator import translate_level
     from repro.runtime.interpreter import run_level
 
-    source = open(args.file).read()
+    source = _read_source(args.file)
     checked = check_program(source, args.file)
     level = args.level or checked.program.levels[0].name
     machine = translate_level(checked.contexts[level])
@@ -143,6 +181,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", choices=("auto", "always", "never"), default="auto",
         help="whole-program bounded refinement validation policy",
     )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="verification farm workers (1 = sequential)",
+    )
+    p.add_argument(
+        "--farm-mode", choices=("auto", "sequential", "thread",
+                                "process"),
+        default="auto",
+        help="worker pool kind; auto picks threads when --jobs > 1",
+    )
+    p.add_argument(
+        "--cache", default=_default_cache_dir(), metavar="DIR",
+        help="proof cache directory (default: %(default)s, or "
+             "$ARMADA_CACHE_DIR)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the proof cache for this run",
+    )
+    p.add_argument(
+        "--farm-report", action="store_true",
+        help="print the detailed farm report (cache hits, worker "
+             "time, slowest obligations)",
+    )
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("compile", help="compile a level")
@@ -177,6 +239,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SystemExit as error:
+        # _read_source reports unreadable files and exits 1; keep main()
+        # returning an int for programmatic callers.
+        return error.code if isinstance(error.code, int) else 1
     except ArmadaError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -1,0 +1,136 @@
+"""``repro.farm`` — a parallel, cached verification orchestrator.
+
+Armada's workflow (Figure 1 of the paper) generates thousands of lemmas
+per refinement recipe and hands them to Dafny/Z3, which discharge
+verification conditions in parallel and cache verified modules between
+runs.  This subsystem gives the reproduction the same shape: lemma
+discharge becomes a first-class *job system* instead of a sequential
+loop inside the proof engine.
+
+Layers (bottom-up):
+
+* :mod:`repro.farm.cache` — content-addressed on-disk verdict store;
+  re-verifying an unchanged program discharges lemmas by file read.
+* :mod:`repro.farm.scheduler` — turns lemma obligations and
+  whole-program refinement checks into :class:`~repro.farm.scheduler.Job`
+  records with stable keys.
+* :mod:`repro.farm.workers` — runs the queue sequentially, on a thread
+  pool, or on a process pool (with inline fallback for non-picklable
+  obligations), and applies verdicts back in deterministic order.
+* :mod:`repro.farm.events` — structured event stream + summary report.
+
+:class:`VerificationFarm` is the facade the proof engine and the CLI
+use; a default-constructed farm (one worker, no cache) behaves exactly
+like the historical sequential checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.farm.cache import (  # noqa: F401
+    ProofCache,
+    code_version,
+    structural_hash,
+)
+from repro.farm.events import (  # noqa: F401
+    CACHE_HIT,
+    CACHE_STORE,
+    JOB_FINISHED,
+    JOB_QUEUED,
+    JOB_STARTED,
+    POOL_FALLBACK,
+    EventLog,
+    FarmEvent,
+    FarmSummary,
+)
+from repro.farm.scheduler import (  # noqa: F401
+    Job,
+    global_check_job,
+    lemma_job_key,
+    lemma_jobs,
+)
+from repro.farm.workers import (  # noqa: F401
+    MODES,
+    PROCESS,
+    SEQUENTIAL,
+    THREAD,
+    run_jobs,
+)
+
+
+@dataclass
+class FarmConfig:
+    """How a :class:`VerificationFarm` schedules and caches work."""
+
+    #: Worker count; 1 means sequential discharge.
+    jobs: int = 1
+    #: ``"auto"`` picks threads when jobs > 1; ``"sequential"``,
+    #: ``"thread"``, and ``"process"`` force a mode.
+    mode: str = "auto"
+    #: Proof-cache directory; None disables caching.
+    cache_dir: str | Path | None = None
+
+    def resolved_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return THREAD if self.jobs > 1 else SEQUENTIAL
+
+
+class VerificationFarm:
+    """Facade: one farm per verification run.
+
+    The engine hands it job batches via :meth:`discharge`; the farm
+    routes them through the cache and the worker pool and accumulates
+    the event stream across batches so one summary covers the whole
+    chain.
+    """
+
+    def __init__(self, config: FarmConfig | None = None) -> None:
+        self.config = config or FarmConfig()
+        if self.config.resolved_mode() not in MODES:
+            raise ValueError(
+                f"unknown farm mode {self.config.mode!r}"
+            )
+        self.events = EventLog()
+        self.cache: ProofCache | None = (
+            ProofCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+
+    def discharge(self, jobs: list[Job]) -> list[Job]:
+        """Run one batch of jobs to completion."""
+        return run_jobs(
+            jobs,
+            mode=self.config.resolved_mode(),
+            max_workers=self.config.jobs,
+            cache=self.cache,
+            events=self.events,
+        )
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        mode = self.config.resolved_mode()
+        if mode == SEQUENTIAL:
+            return SEQUENTIAL
+        return f"{mode} x{max(1, self.config.jobs)}"
+
+    def summary(self) -> FarmSummary:
+        return self.events.summary()
+
+    def summary_line(self) -> str:
+        return self.summary().one_line(self.describe())
+
+    def report_lines(self) -> list[str]:
+        lines = [f"verification farm [{self.describe()}]"]
+        lines.extend(self.summary().report_lines())
+        if self.cache is not None:
+            lines.append(
+                f"cache: {self.cache.directory} "
+                f"({self.cache.hits} hits, {self.cache.misses} misses, "
+                f"{self.cache.stores} stores)"
+            )
+        return lines

@@ -1,0 +1,163 @@
+"""Content-addressed on-disk proof cache (incremental verification).
+
+The paper's toolchain gets incrementality for free from Dafny, which
+caches verified modules across runs; re-verifying an unchanged Armada
+program only re-proves what changed.  This module reproduces that: every
+lemma obligation is keyed by a *structural hash* of
+
+* the lemma's content (name, statement, body, customizations),
+* the prover configuration fingerprint (a different sampling budget may
+  produce a different verdict), and
+* a code-version fingerprint over the ``repro`` package sources (a new
+  strategy or prover fix must invalidate old verdicts).
+
+A key therefore identifies the obligation *semantically*: any edit to a
+level, a recipe, a lemma customization, the prover budget, or the
+toolchain itself changes the key and forces a re-check, while an
+untouched lemma is discharged by a single file read.
+
+Verdicts are stored one-per-file under ``<dir>/<k[:2]>/<k[2:]>.verdict``
+(sharded by the leading key byte so no directory grows unboundedly),
+written atomically via ``os.replace`` so concurrent workers and even
+concurrent ``armada`` processes can share a cache directory safely.
+Corrupt or unreadable entries are treated as misses and dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.verifier.prover import Verdict
+
+#: Bump to invalidate every existing cache entry on a format change.
+CACHE_FORMAT = 1
+
+
+def _encode(value: Any, out: list[bytes]) -> None:
+    """Canonical, type-tagged encoding of nested str/int/bool/None and
+    sequences, so structurally equal values hash equally and
+    structurally different ones (``"1"`` vs ``1``, ``["ab"]`` vs
+    ``["a", "b"]``) never collide."""
+    if value is None:
+        out.append(b"N;")
+    elif isinstance(value, bool):
+        out.append(b"b1;" if value else b"b0;")
+    elif isinstance(value, int):
+        raw = str(value).encode()
+        out.append(b"i%d:%s;" % (len(raw), raw))
+    elif isinstance(value, str):
+        raw = value.encode()
+        out.append(b"s%d:%s;" % (len(raw), raw))
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l%d:" % len(value))
+        for item in value:
+            _encode(item, out)
+        out.append(b";")
+    else:
+        raw = repr(value).encode()
+        out.append(b"r%d:%s;" % (len(raw), raw))
+
+
+def structural_hash(*parts: Any) -> str:
+    """Stable hex digest of a tuple of (possibly nested) values."""
+    out: list[bytes] = [b"v%d;" % CACHE_FORMAT]
+    _encode(list(parts), out)
+    return hashlib.sha256(b"".join(out)).hexdigest()
+
+
+_code_version: str | None = None
+_code_version_lock = threading.Lock()
+
+
+def code_version() -> str:
+    """Fingerprint of the ``repro`` package sources, memoized per
+    process.  Any change to the toolchain (strategies, prover,
+    translator, ...) yields a new version and invalidates the cache."""
+    global _code_version
+    with _code_version_lock:
+        if _code_version is None:
+            root = Path(__file__).resolve().parent.parent
+            digest = hashlib.sha256()
+            for path in sorted(root.rglob("*.py")):
+                digest.update(path.relative_to(root).as_posix().encode())
+                digest.update(b"\x00")
+                digest.update(path.read_bytes())
+                digest.update(b"\x00")
+            _code_version = digest.hexdigest()
+        return _code_version
+
+
+class ProofCache:
+    """Content-addressed verdict store rooted at one directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._lock = threading.Lock()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key[2:]}.verdict"
+
+    def get(self, key: str) -> Verdict | None:
+        """Look up a verdict; any failure to read or decode is a miss."""
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            verdict = pickle.loads(payload)
+        except Exception:
+            verdict = None
+        if not isinstance(verdict, Verdict):
+            # Corrupt or foreign entry: drop it so it cannot shadow a
+            # future store under the same key.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return verdict
+
+    def put(self, key: str, verdict: Verdict) -> bool:
+        """Store a verdict atomically; returns False if the verdict is
+        not serializable (the job simply stays uncached)."""
+        try:
+            payload = pickle.dumps(verdict)
+        except Exception:
+            return False
+        path = self._path(key)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        with self._lock:
+            self.stores += 1
+        return True
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.verdict"))

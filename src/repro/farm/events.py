@@ -1,0 +1,147 @@
+"""Structured event stream for the verification farm.
+
+Every scheduling decision the farm makes — a job entering the queue, a
+worker picking it up, a verdict coming back, a cache hit avoiding work —
+is recorded as a :class:`FarmEvent`.  The log is append-only and
+thread-safe so workers can emit from any thread; consumers read it after
+a discharge round to build the summary report (``armada verify
+--farm-report``) or to assert scheduling behaviour in tests.
+
+Events are telemetry: verdict *application* is kept deterministic by the
+workers regardless of the order events were emitted in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+JOB_QUEUED = "job_queued"
+JOB_STARTED = "job_started"
+JOB_FINISHED = "job_finished"
+CACHE_HIT = "cache_hit"
+CACHE_STORE = "cache_store"
+POOL_FALLBACK = "pool_fallback"
+
+
+@dataclass
+class FarmEvent:
+    """One observation from the farm's job lifecycle."""
+
+    kind: str
+    job_key: str
+    label: str
+    #: Wall-clock seconds the job's obligation ran (finish events only).
+    wall_seconds: float = 0.0
+    #: Jobs not yet finished at emission time (start/finish events).
+    queue_depth: int = 0
+    timestamp: float = 0.0
+
+
+class EventLog:
+    """Append-only, thread-safe event sink."""
+
+    def __init__(self) -> None:
+        self._events: list[FarmEvent] = []
+        self._lock = threading.Lock()
+
+    def emit(
+        self,
+        kind: str,
+        job_key: str,
+        label: str,
+        wall_seconds: float = 0.0,
+        queue_depth: int = 0,
+    ) -> None:
+        event = FarmEvent(
+            kind, job_key, label, wall_seconds, queue_depth,
+            time.monotonic(),
+        )
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, kind: str | None = None) -> list[FarmEvent]:
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is None:
+            return snapshot
+        return [e for e in snapshot if e.kind == kind]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def summary(self) -> FarmSummary:
+        return FarmSummary.from_events(self.events())
+
+
+@dataclass
+class FarmSummary:
+    """Aggregate view of one or more discharge rounds."""
+
+    jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+    pool_fallbacks: int = 0
+    worker_seconds: float = 0.0
+    max_queue_depth: int = 0
+    #: The slowest executed jobs, as (label, wall seconds), slowest first.
+    slowest: list[tuple[str, float]] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, events: list[FarmEvent]) -> FarmSummary:
+        summary = cls()
+        timed: list[tuple[str, float]] = []
+        for event in events:
+            if event.kind == JOB_QUEUED:
+                summary.jobs += 1
+            elif event.kind == JOB_FINISHED:
+                summary.executed += 1
+                summary.worker_seconds += event.wall_seconds
+                timed.append((event.label, event.wall_seconds))
+            elif event.kind == CACHE_HIT:
+                summary.cache_hits += 1
+            elif event.kind == CACHE_STORE:
+                summary.cache_stores += 1
+            elif event.kind == POOL_FALLBACK:
+                summary.pool_fallbacks += 1
+            if event.queue_depth > summary.max_queue_depth:
+                summary.max_queue_depth = event.queue_depth
+        timed.sort(key=lambda pair: -pair[1])
+        summary.slowest = timed[:5]
+        return summary
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queued jobs discharged from cache."""
+        return self.cache_hits / self.jobs if self.jobs else 0.0
+
+    def one_line(self, mode: str = "sequential") -> str:
+        return (
+            f"farm: {self.jobs} obligations, "
+            f"{self.cache_hits} from cache, "
+            f"{self.executed} executed in "
+            f"{self.worker_seconds:.2f}s worker time [{mode}]"
+        )
+
+    def report_lines(self) -> list[str]:
+        lines = [
+            f"obligations queued:   {self.jobs}",
+            f"discharged from cache: {self.cache_hits} "
+            f"({self.hit_rate:.1%})",
+            f"executed by workers:  {self.executed} "
+            f"({self.worker_seconds:.2f}s worker time)",
+            f"cache stores:         {self.cache_stores}",
+            f"max queue depth:      {self.max_queue_depth}",
+        ]
+        if self.pool_fallbacks:
+            lines.append(
+                f"process-pool fallbacks to inline: {self.pool_fallbacks}"
+            )
+        if self.slowest:
+            lines.append("slowest obligations:")
+            for label, seconds in self.slowest:
+                lines.append(f"  {seconds:8.3f}s  {label}")
+        return lines

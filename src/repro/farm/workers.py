@@ -1,0 +1,205 @@
+"""Worker pool: discharges farm jobs concurrently, deterministically.
+
+``run_jobs`` is the farm's execution core.  It takes the scheduler's job
+queue and drives it to completion in three phases:
+
+1. **Cache probe** — cacheable jobs are looked up in the proof cache;
+   hits skip execution entirely (a ``cache_hit`` event is emitted).
+2. **Execution** — remaining jobs run sequentially, on a thread pool, or
+   on a process pool.  Process workers require picklable thunks; lemma
+   obligations are closures over machines and contexts, which pickle
+   refuses, so such jobs *fall back to inline execution* in the
+   scheduling process (``pool_fallback`` event).  Correctness therefore
+   never depends on the pool: every mode runs every job.
+3. **Apply + store** — results are written back via each job's ``apply``
+   callback *in queue order* on the calling thread, so the per-lemma
+   verdict sequence is identical across all modes; freshly computed
+   cacheable verdicts are stored to the cache.
+
+An ``ArmadaError`` inside a wrapped obligation becomes a refuted verdict
+carrying the error text (the proof engine's historical behaviour); any
+other exception propagates to the caller, in every mode.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.errors import ArmadaError
+from repro.farm.events import (
+    CACHE_HIT,
+    CACHE_STORE,
+    JOB_FINISHED,
+    JOB_QUEUED,
+    JOB_STARTED,
+    POOL_FALLBACK,
+    EventLog,
+)
+from repro.farm.scheduler import Job
+from repro.verifier.prover import Verdict
+
+SEQUENTIAL = "sequential"
+THREAD = "thread"
+PROCESS = "process"
+MODES = (SEQUENTIAL, THREAD, PROCESS)
+
+
+class _DepthTracker:
+    """Counts unfinished jobs so events can record queue depth."""
+
+    def __init__(self, pending: int) -> None:
+        self._pending = pending
+        self._lock = threading.Lock()
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def finish_one(self) -> int:
+        with self._lock:
+            self._pending -= 1
+            return self._pending
+
+
+def _wrap_armada_error(error: ArmadaError) -> Verdict:
+    from repro.proofs.artifacts import bool_verdict
+
+    return bool_verdict(False, {"error": str(error)})
+
+
+def _run_thunk(job: Job) -> tuple:
+    """Execute one job's thunk, returning (result, wall_seconds)."""
+    started = time.perf_counter()
+    try:
+        result = job.thunk()
+    except ArmadaError as error:
+        if not job.wrap_errors:
+            raise
+        result = _wrap_armada_error(error)
+    return result, time.perf_counter() - started
+
+
+def _invoke(thunk):
+    """Module-level trampoline so process pools can call a pickled
+    thunk."""
+    return thunk()
+
+
+def _picklable(thunk) -> bool:
+    try:
+        pickle.dumps(thunk)
+        return True
+    except Exception:
+        return False
+
+
+def _run_one(job: Job, events: EventLog, tracker: _DepthTracker) -> None:
+    events.emit(JOB_STARTED, job.key, job.label,
+                queue_depth=tracker.depth())
+    job.result, job.wall_seconds = _run_thunk(job)
+    job.finished = True
+    depth = tracker.finish_one()
+    events.emit(JOB_FINISHED, job.key, job.label,
+                wall_seconds=job.wall_seconds, queue_depth=depth)
+
+
+def run_jobs(
+    jobs: list[Job],
+    mode: str = SEQUENTIAL,
+    max_workers: int = 1,
+    cache=None,
+    events: EventLog | None = None,
+) -> list[Job]:
+    """Discharge every job; returns the same list with results filled."""
+    if mode not in MODES:
+        raise ValueError(f"unknown farm mode {mode!r}; expected {MODES}")
+    if events is None:
+        events = EventLog()
+
+    for position, job in enumerate(jobs):
+        events.emit(JOB_QUEUED, job.key, job.label,
+                    queue_depth=len(jobs) - position)
+
+    to_run: list[Job] = []
+    for job in jobs:
+        if cache is not None and job.cacheable:
+            verdict = cache.get(job.key)
+            if verdict is not None:
+                job.result = verdict
+                job.finished = True
+                job.from_cache = True
+                events.emit(CACHE_HIT, job.key, job.label)
+                continue
+        to_run.append(job)
+
+    tracker = _DepthTracker(len(to_run))
+    workers = max(1, max_workers)
+    if mode == SEQUENTIAL or workers == 1 or len(to_run) <= 1:
+        for job in to_run:
+            _run_one(job, events, tracker)
+    elif mode == THREAD:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_one, job, events, tracker)
+                for job in to_run
+            ]
+            for future in futures:
+                future.result()
+    else:  # PROCESS
+        _run_process_mode(to_run, events, tracker, workers)
+
+    # Deterministic write-back: queue order, calling thread.
+    for job in jobs:
+        job.apply(job.result)
+        if (
+            cache is not None
+            and job.cacheable
+            and not job.from_cache
+            and isinstance(job.result, Verdict)
+        ):
+            if cache.put(job.key, job.result):
+                events.emit(CACHE_STORE, job.key, job.label)
+    return jobs
+
+
+def _run_process_mode(
+    to_run: list[Job],
+    events: EventLog,
+    tracker: _DepthTracker,
+    workers: int,
+) -> None:
+    """Process-pool execution with per-job inline fallback.
+
+    Obligations that close over non-picklable state (in practice: any
+    closure) cannot cross a process boundary; they run inline here so
+    the verdicts are always complete and identical to the other modes.
+    """
+    poolable = [job for job in to_run if _picklable(job.thunk)]
+    inline = [job for job in to_run if not _picklable(job.thunk)]
+    futures = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for job in poolable:
+            events.emit(JOB_STARTED, job.key, job.label,
+                        queue_depth=tracker.depth())
+            futures[id(job)] = (job, pool.submit(_invoke, job.thunk),
+                                time.perf_counter())
+        for job in inline:
+            events.emit(POOL_FALLBACK, job.key, job.label,
+                        queue_depth=tracker.depth())
+            job.ran_inline = True
+            _run_one(job, events, tracker)
+        for job, future, started in futures.values():
+            try:
+                job.result = future.result()
+            except ArmadaError as error:
+                if not job.wrap_errors:
+                    raise
+                job.result = _wrap_armada_error(error)
+            job.wall_seconds = time.perf_counter() - started
+            job.finished = True
+            depth = tracker.finish_one()
+            events.emit(JOB_FINISHED, job.key, job.label,
+                        wall_seconds=job.wall_seconds, queue_depth=depth)

@@ -7,6 +7,13 @@ role Dafny plays in the paper), runs any whole-program bounded
 refinement checks the strategy requested, and finally composes the
 per-pair results by refinement transitivity into the end-to-end theorem
 "the implementation refines the specification".
+
+Obligation checking is delegated to the verification farm
+(:mod:`repro.farm`): every lemma obligation across every proof of a
+chain — plus the whole-program refinement checks — is collected into a
+job queue with stable content-addressed keys, then discharged through a
+cache and a worker pool.  A default farm (one worker, no cache)
+reproduces the historical sequential behaviour exactly.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ArmadaError, ProofFailure, StrategyError
+from repro.farm import VerificationFarm, global_check_job, lemma_jobs
+from repro.farm.scheduler import Job
 from repro.lang import asts as ast
 from repro.lang.frontend import CheckedProgram, check_program
 from repro.machine.program import DomainConfig, StateMachine
@@ -57,6 +66,9 @@ class ChainOutcome:
     outcomes: list[ProofOutcome] = field(default_factory=list)
     chain: list[str] = field(default_factory=list)
     end_to_end: bool = False
+    #: Why the level chain failed to compose (broken, cyclic, or
+    #: disconnected proof graph); None when ``chain`` is valid.
+    chain_error: str | None = None
 
     @property
     def success(self) -> bool:
@@ -65,6 +77,21 @@ class ChainOutcome:
     @property
     def total_generated_sloc(self) -> int:
         return sum(o.generated_sloc for o in self.outcomes)
+
+
+@dataclass
+class _PreparedProof:
+    """One proof between script generation and outcome finalization."""
+
+    proof: ast.ProofDecl
+    script: ProofScript | None = None
+    #: Early failure (strategy/correspondence error): finalize returns
+    #: this outcome untouched and no jobs are scheduled.
+    outcome: ProofOutcome | None = None
+    refinement_checked: bool = False
+    validation_error: str | None = None
+    prepare_seconds: float = 0.0
+    jobs: list[Job] = field(default_factory=list)
 
 
 class ProofEngine:
@@ -77,16 +104,21 @@ class ProofEngine:
         max_states: int = 200_000,
         domains: DomainConfig | None = None,
         validate_refinement: str = "auto",
+        farm: VerificationFarm | None = None,
     ) -> None:
         """``validate_refinement``: ``"always"`` runs the whole-program
         bounded simulation check for every pair, ``"auto"`` only when a
         strategy requests it (``global_checks``), ``"never"`` trusts the
-        per-lemma obligations alone."""
+        per-lemma obligations alone.
+
+        ``farm``: the verification farm obligations are discharged
+        through; defaults to a sequential, uncached farm."""
         self.checked = checked
         self.prover = prover or Prover()
         self.max_states = max_states
         self.domains = domains
         self.validate_refinement = validate_refinement
+        self.farm = farm or VerificationFarm()
         self._machines: dict[str, StateMachine] = {}
 
     # ------------------------------------------------------------------
@@ -105,7 +137,17 @@ class ProofEngine:
     # ------------------------------------------------------------------
 
     def run_proof(self, proof: ast.ProofDecl) -> ProofOutcome:
+        prep = self._prepare(proof)
+        if prep.outcome is None:
+            self.farm.discharge(self._schedule(prep))
+        return self._finalize(prep)
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, proof: ast.ProofDecl) -> _PreparedProof:
+        """Generate the proof script (no obligation is checked yet)."""
         started = time.perf_counter()
+        prep = _PreparedProof(proof)
         try:
             strategy = lookup(proof.strategy.name)
             for level_name in (proof.low_level, proof.high_level):
@@ -125,39 +167,185 @@ class ProofEngine:
             )
             script = strategy.generate(request)
             self._apply_directives(proof, request, script)
-            self._check_lemmas(script)
-            refinement_checked = self._maybe_validate(proof, script)
-            failed = script.failed_lemmas()
-            if failed:
-                details = "; ".join(
-                    f"{lemma.name}: " + (
-                        str(lemma.verdict.counterexample)
-                        if lemma.verdict is not None
-                        else "unchecked"
-                    )
-                    for lemma in failed[:3]
-                )
-                return ProofOutcome(
-                    proof.name, proof.strategy.name, False, script,
-                    f"verification failed: {details}",
-                    refinement_checked,
-                    time.perf_counter() - started,
-                )
-            return ProofOutcome(
-                proof.name, proof.strategy.name, True, script, None,
-                refinement_checked, time.perf_counter() - started,
-            )
+            prep.script = script
         except StrategyError as error:
-            return ProofOutcome(
+            prep.outcome = ProofOutcome(
                 proof.name, proof.strategy.name, False, None,
                 f"correspondence error: {error.message}",
                 False, time.perf_counter() - started,
             )
         except ArmadaError as error:
-            return ProofOutcome(
+            prep.outcome = ProofOutcome(
                 proof.name, proof.strategy.name, False, None,
                 str(error), False, time.perf_counter() - started,
             )
+        prep.prepare_seconds = time.perf_counter() - started
+        return prep
+
+    def _job_fingerprint(self) -> str:
+        """Everything beyond lemma content that can change a verdict."""
+        domains = self.domains
+        if domains is None:
+            domain_part = "default-domains"
+        else:
+            overrides = sorted(
+                (repr(k), repr(v)) for k, v in domains.overrides.items()
+            )
+            domain_part = (
+                f"{domains.bool_values}:{domains.int_values}:"
+                f"{domains.newframe_int_values}:{overrides}"
+            )
+        return (
+            f"{self.prover.fingerprint()}|max_states={self.max_states}"
+            f"|{domain_part}"
+        )
+
+    def _machine_fingerprint(self, proof: ast.ProofDecl) -> str:
+        """Position-free fingerprint of both levels' semantics.
+
+        Reachability-based obligations (rely-guarantee path lemmas,
+        ownership predicates, phase invariants) quantify over the whole
+        machine's reachable states, not only over the text of their
+        lemma, so the cache key must change whenever either machine
+        does.  The rendered definitions cover PCs, datatypes, and step
+        effects; global initial values are appended separately because
+        the renderer omits them.
+        """
+        from repro.farm.cache import structural_hash
+        from repro.lang.astutil import expr_to_str
+        from repro.proofs.render import render_machine_definitions
+
+        parts: list[object] = []
+        for level_name in (proof.low_level, proof.high_level):
+            ctx = self.checked.contexts[level_name]
+            inits = [
+                f"{g.name}:"
+                f"{expr_to_str(g.init) if g.init is not None else '*'}"
+                for g in ctx.level.globals
+            ]
+            parts.append(level_name)
+            parts.append(
+                "\n".join(render_machine_definitions(self.machine(level_name)))
+            )
+            parts.append(inits)
+        return structural_hash("machine-pair", *parts)
+
+    def _schedule(self, prep: _PreparedProof) -> list[Job]:
+        """Collect this proof's checkable units into farm jobs."""
+        script = prep.script
+        assert script is not None
+        fingerprint = (
+            f"{self._job_fingerprint()}"
+            f"|{self._machine_fingerprint(prep.proof)}"
+        )
+        jobs = lemma_jobs(script, fingerprint)
+        should_validate = self.validate_refinement == "always" or (
+            self.validate_refinement == "auto" and script.global_checks
+        )
+        if should_validate:
+            jobs.append(self._global_check_job(prep))
+            prep.refinement_checked = True
+        prep.jobs = jobs
+        return jobs
+
+    def _global_check_job(self, prep: _PreparedProof) -> Job:
+        proof = prep.proof
+        script = prep.script
+        low_machine = self.machine(proof.low_level)
+        high_machine = self.machine(proof.high_level)
+        low_ctx = self.checked.contexts[proof.low_level]
+        high_ctx = self.checked.contexts[proof.high_level]
+        max_states = self.max_states
+
+        def thunk():
+            from repro.explore.refinement_check import check_refinement
+            from repro.proofs.refinement import relation_from_recipe
+
+            try:
+                relation = relation_from_recipe(proof, low_ctx, high_ctx)
+                return check_refinement(
+                    low_machine,
+                    high_machine,
+                    relation=relation,
+                    max_product_states=max_states,
+                )
+            except ArmadaError as error:
+                return error
+
+        def apply(result) -> None:
+            if isinstance(result, ArmadaError):
+                prep.validation_error = str(result)
+                return
+            script.add(
+                Lemma(
+                    name="WholeProgramRefinement",
+                    statement=(
+                        f"every finite behavior of {proof.low_level} "
+                        f"simulates a behavior of {proof.high_level} "
+                        "modulo stuttering (bounded check)"
+                    ),
+                    body=[
+                        "// product states explored: "
+                        f"{result.product_states}"
+                    ]
+                    + [f"// discharges: {reason}"
+                       for reason in script.global_checks]
+                    + (
+                        [
+                            "// counterexample trace: "
+                            + result.counterexample.format_trace()
+                        ]
+                        if result.counterexample is not None
+                        else []
+                    ),
+                    obligation=(
+                        (lambda: bool_verdict(False))
+                        if not result.holds else None
+                    ),
+                    verdict=bool_verdict(
+                        result.holds,
+                        result.counterexample.description
+                        if result.counterexample
+                        else None,
+                    ),
+                )
+            )
+
+        return global_check_job(proof.name, thunk, apply)
+
+    def _finalize(self, prep: _PreparedProof) -> ProofOutcome:
+        """Fold checked verdicts into this proof's outcome."""
+        if prep.outcome is not None:
+            return prep.outcome
+        proof = prep.proof
+        script = prep.script
+        elapsed = prep.prepare_seconds + sum(
+            job.wall_seconds for job in prep.jobs
+        )
+        if prep.validation_error is not None:
+            return ProofOutcome(
+                proof.name, proof.strategy.name, False, None,
+                prep.validation_error, False, elapsed,
+            )
+        failed = script.failed_lemmas()
+        if failed:
+            details = "; ".join(
+                f"{lemma.name}: " + (
+                    str(lemma.verdict.counterexample)
+                    if lemma.verdict is not None
+                    else "unchecked"
+                )
+                for lemma in failed[:3]
+            )
+            return ProofOutcome(
+                proof.name, proof.strategy.name, False, script,
+                f"verification failed: {details}",
+                prep.refinement_checked, elapsed,
+            )
+        return ProofOutcome(
+            proof.name, proof.strategy.name, True, script, None,
+            prep.refinement_checked, elapsed,
+        )
 
     # ------------------------------------------------------------------
 
@@ -185,102 +373,89 @@ class ProofEngine:
             if target is not None:
                 target.customization.append(text)
 
-    def _check_lemmas(self, script: ProofScript) -> None:
-        for lemma in script.lemmas:
-            if lemma.obligation is None:
-                continue
-            try:
-                lemma.verdict = lemma.obligation()
-            except ArmadaError as error:
-                lemma.verdict = bool_verdict(False, {"error": str(error)})
-
-    def _maybe_validate(
-        self, proof: ast.ProofDecl, script: ProofScript
-    ) -> bool:
-        should = self.validate_refinement == "always" or (
-            self.validate_refinement == "auto" and script.global_checks
-        )
-        if not should:
-            return False
-        from repro.explore.refinement_check import check_refinement
-        from repro.proofs.refinement import relation_from_recipe
-
-        relation = relation_from_recipe(
-            proof,
-            self.checked.contexts[proof.low_level],
-            self.checked.contexts[proof.high_level],
-        )
-        result = check_refinement(
-            self.machine(proof.low_level),
-            self.machine(proof.high_level),
-            relation=relation,
-            max_product_states=self.max_states,
-        )
-        script.add(
-            Lemma(
-                name="WholeProgramRefinement",
-                statement=(
-                    f"every finite behavior of {proof.low_level} "
-                    f"simulates a behavior of {proof.high_level} "
-                    "modulo stuttering (bounded check)"
-                ),
-                body=[
-                    f"// product states explored: {result.product_states}"
-                ]
-                + [f"// discharges: {reason}"
-                   for reason in script.global_checks]
-                + (
-                    [
-                        "// counterexample trace: "
-                        + result.counterexample.format_trace()
-                    ]
-                    if result.counterexample is not None
-                    else []
-                ),
-                obligation=None,
-                verdict=bool_verdict(
-                    result.holds,
-                    result.counterexample.description
-                    if result.counterexample
-                    else None,
-                ),
-            )
-        )
-        if not result.holds:
-            script.lemmas[-1].obligation = lambda: bool_verdict(False)
-        return True
+    def _check_lemmas(
+        self, script: ProofScript, proof: ast.ProofDecl | None = None
+    ) -> None:
+        """Discharge one script's lemma obligations through the farm."""
+        fingerprint = self._job_fingerprint()
+        if proof is not None:
+            fingerprint += f"|{self._machine_fingerprint(proof)}"
+        self.farm.discharge(lemma_jobs(script, fingerprint))
 
     # ------------------------------------------------------------------
 
     def run_all(self) -> ChainOutcome:
-        """Run every proof and compose the chain by transitivity."""
+        """Run every proof and compose the chain by transitivity.
+
+        Script generation stays per-proof, but the obligations of *all*
+        proofs are collected into one farm batch, so a multi-worker
+        farm parallelises across the entire chain.
+        """
+        preps = [
+            self._prepare(proof)
+            for proof in self.checked.program.proofs
+        ]
+        batch: list[Job] = []
+        for prep in preps:
+            if prep.outcome is None:
+                batch.extend(self._schedule(prep))
+        self.farm.discharge(batch)
         chain_outcome = ChainOutcome()
-        for proof in self.checked.program.proofs:
-            chain_outcome.outcomes.append(self.run_proof(proof))
-        chain_outcome.chain = self._compose_chain()
+        for prep in preps:
+            chain_outcome.outcomes.append(self._finalize(prep))
+        chain, chain_error = self._compose_chain()
+        chain_outcome.chain = chain
+        chain_outcome.chain_error = chain_error
         chain_outcome.end_to_end = (
             chain_outcome.success and len(chain_outcome.chain) >= 2
         )
         return chain_outcome
 
-    def _compose_chain(self) -> list[str]:
+    def _compose_chain(self) -> tuple[list[str], str | None]:
         """Order the levels by following the proofs' low→high edges from
-        the level that is never a high side (the implementation)."""
-        edges = {
-            p.low_level: p.high_level
-            for p in self.checked.program.proofs
-        }
+        the level that is never a high side (the implementation).
+
+        Returns ``(chain, None)`` on success or ``([], reason)`` when
+        the proof graph does not form a single linear chain."""
+        proofs = self.checked.program.proofs
+        if not proofs:
+            return [], "no proofs declared"
+        edges: dict[str, str] = {}
+        for p in proofs:
+            if p.low_level in edges and edges[p.low_level] != p.high_level:
+                return [], (
+                    f"level {p.low_level} is the low side of multiple "
+                    f"proofs ({edges[p.low_level]} and {p.high_level})"
+                )
+            edges[p.low_level] = p.high_level
         highs = set(edges.values())
         starts = [low for low in edges if low not in highs]
-        if len(starts) != 1:
-            return []
+        if not starts:
+            return [], (
+                "cyclic level chain: every level is the high side of "
+                "some proof"
+            )
+        if len(starts) > 1:
+            return [], (
+                "broken level chain: multiple candidate implementation "
+                "levels (" + ", ".join(sorted(starts)) + ")"
+            )
         chain = [starts[0]]
         while chain[-1] in edges:
             nxt = edges[chain[-1]]
             if nxt in chain:
-                return []  # cycle
+                return [], f"cyclic level chain at {nxt}"
             chain.append(nxt)
-        return chain
+        if len(chain) != len(edges) + 1:
+            unused = sorted(
+                low for low in edges if low not in chain[:-1]
+            )
+            return [], (
+                "disconnected proof graph: proofs from "
+                + ", ".join(unused) + " are not reachable from "
+                + chain[0]
+            )
+        return chain, None
 
 
 def verify_source(
@@ -288,11 +463,13 @@ def verify_source(
     filename: str = "<armada>",
     max_states: int = 200_000,
     validate_refinement: str = "auto",
+    farm: VerificationFarm | None = None,
 ) -> ChainOutcome:
     """Parse, check, and verify a complete Armada program text."""
     checked = check_program(source, filename)
     engine = ProofEngine(
         checked, max_states=max_states,
         validate_refinement=validate_refinement,
+        farm=farm,
     )
     return engine.run_all()

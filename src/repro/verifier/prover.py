@@ -59,6 +59,16 @@ class ProverConfig:
     math_window: int = 9
     max_assignments: int = 250_000
 
+    def fingerprint(self) -> str:
+        """Stable identity of this budget, part of every proof-cache
+        key: a different sampling budget may flip a bounded verdict, so
+        cached verdicts must not survive a budget change."""
+        return (
+            f"prover-config/1:{self.exhaustive_bits}:"
+            f"{self.random_samples}:{self.math_window}:"
+            f"{self.max_assignments}"
+        )
+
 
 def _corner_values(t: ty.IntType) -> list[int]:
     corners = {0, 1, t.min_value, t.max_value, t.max_value // 2}
@@ -115,6 +125,9 @@ class Prover:
 
     def __init__(self, config: ProverConfig | None = None) -> None:
         self.config = config or ProverConfig()
+
+    def fingerprint(self) -> str:
+        return self.config.fingerprint()
 
     def prove_valid(
         self,

@@ -5,6 +5,13 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the default proof cache at a per-test directory so CLI
+    tests neither share verdicts nor write into the repository."""
+    monkeypatch.setenv("ARMADA_CACHE_DIR", str(tmp_path / "proof-cache"))
+
+
 @pytest.fixture()
 def program_file(tmp_path):
     path = tmp_path / "prog.arm"
@@ -69,8 +76,78 @@ class TestCommands:
         assert main(["check", str(path)]) == 2
         assert "error" in capsys.readouterr().err
 
-    def test_missing_file(self, capsys):
-        assert main(["check", "/nonexistent.arm"]) == 2
+
+class TestFileHandling:
+    """Unreadable inputs exit 1 with a one-line stderr message."""
+
+    @pytest.mark.parametrize(
+        "command", ["check", "verify", "compile", "run"]
+    )
+    def test_missing_file(self, command, capsys):
+        assert main([command, "/nonexistent.arm"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read /nonexistent.arm" in err
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_directory_argument(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "Traceback" not in err
+
+
+class TestVerifyFarmFlags:
+    def test_verify_prints_farm_summary(self, program_file, capsys):
+        assert main(["verify", program_file]) == 0
+        assert "farm:" in capsys.readouterr().out
+
+    def test_verify_jobs_and_report(self, program_file, capsys):
+        assert main([
+            "verify", program_file, "--jobs", "2", "--farm-report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verification farm [thread x2]" in out
+        assert "obligations queued" in out
+
+    @pytest.fixture()
+    def obligation_file(self):
+        """A program whose lemmas carry real (cacheable) obligations:
+        identical levels produce only trivial subsumption plans, so use
+        the shipped running example."""
+        from pathlib import Path
+
+        return str(
+            Path(__file__).parent.parent / "examples"
+            / "running_example.arm"
+        )
+
+    def test_verify_second_run_hits_cache(self, obligation_file,
+                                          capsys):
+        assert main(["verify", obligation_file]) == 0
+        first = capsys.readouterr().out
+        assert " 0 from cache" in first
+        assert main(["verify", obligation_file]) == 0
+        second = capsys.readouterr().out
+        assert " 0 from cache" not in second
+        assert "from cache" in second
+
+    def test_verify_no_cache(self, obligation_file, capsys):
+        assert main(["verify", obligation_file, "--no-cache"]) == 0
+        assert main(["verify", obligation_file, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert " 0 from cache" in out
+
+    def test_verify_chain_error_surfaced(self, tmp_path, capsys):
+        path = tmp_path / "cycle.arm"
+        path.write_text(
+            "level A { var x: uint32; void main() { x := 1; } }\n"
+            "level B { var x: uint32; void main() { x := 1; } }\n"
+            "proof P { refinement A B weakening }\n"
+            "proof Q { refinement B A weakening }\n"
+        )
+        main(["verify", str(path)])
+        assert "chain error:" in capsys.readouterr().out
 
 
 class TestShippedArmadaFile:

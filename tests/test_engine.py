@@ -52,6 +52,54 @@ class TestChains:
         assert not outcome.outcomes[0].success
 
 
+class TestChainDiagnostics:
+    LEVELS = (
+        "level A { var x: uint32; void main() { x := 1; } }\n"
+        "level B { var x: uint32; void main() { x := 1; } }\n"
+        "level C { var x: uint32; void main() { x := 1; } }\n"
+        "level D { var x: uint32; void main() { x := 1; } }\n"
+    )
+
+    def test_valid_chain_has_no_error(self):
+        outcome = verify_source(TWO_STEP_CHAIN)
+        assert outcome.chain_error is None
+
+    def test_cycle_reported(self):
+        outcome = verify_source(
+            self.LEVELS
+            + "proof P { refinement A B weakening }\n"
+            + "proof Q { refinement B A weakening }\n"
+        )
+        assert outcome.chain == []
+        assert not outcome.end_to_end
+        assert "cyclic" in outcome.chain_error
+
+    def test_broken_chain_reported(self):
+        outcome = verify_source(
+            self.LEVELS
+            + "proof P { refinement A B weakening }\n"
+            + "proof Q { refinement C D weakening }\n"
+        )
+        assert outcome.chain == []
+        assert "broken" in outcome.chain_error
+        assert "A" in outcome.chain_error and "C" in outcome.chain_error
+
+    def test_disconnected_cycle_reported(self):
+        outcome = verify_source(
+            self.LEVELS
+            + "proof P { refinement A B weakening }\n"
+            + "proof Q { refinement C D weakening }\n"
+            + "proof R { refinement D C weakening }\n"
+        )
+        assert outcome.chain == []
+        assert outcome.chain_error is not None
+
+    def test_no_proofs_reported(self):
+        outcome = verify_source("level A { void main() { } }")
+        assert outcome.chain == []
+        assert "no proofs" in outcome.chain_error
+
+
 class TestEngineMechanics:
     def test_machines_cached(self):
         checked = check_program(TWO_STEP_CHAIN)

@@ -1,0 +1,344 @@
+"""Tests for the verification farm: scheduling, caching, equivalence.
+
+The load-bearing property is *mode equivalence*: sequential, threaded,
+process-pool, and cached discharge of a full case-study chain must
+produce identical per-lemma verdicts and the same ``ChainOutcome``
+success — parallelism and incrementality are pure optimisations.
+"""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.casestudies import load, run_case_study
+from repro.farm import (
+    CACHE_HIT,
+    JOB_FINISHED,
+    JOB_QUEUED,
+    POOL_FALLBACK,
+    FarmConfig,
+    ProofCache,
+    VerificationFarm,
+    lemma_job_key,
+    lemma_jobs,
+    structural_hash,
+)
+from repro.proofs.artifacts import (
+    Lemma,
+    ObligationDescriptor,
+    ProofScript,
+    proved,
+)
+from repro.verifier.prover import ProverConfig, Verdict
+
+
+def snapshot(outcome):
+    """Byte-comparable view of every per-lemma verdict in a chain."""
+    rows = []
+    for proof_outcome in outcome.outcomes:
+        lemmas = (
+            proof_outcome.script.lemmas
+            if proof_outcome.script is not None else []
+        )
+        rows.append(
+            (
+                proof_outcome.proof_name,
+                proof_outcome.success,
+                tuple(
+                    (lemma.name, repr(lemma.verdict)) for lemma in lemmas
+                ),
+            )
+        )
+    return rows
+
+
+def make_script(body="assert x > 0;", counter=None):
+    """A one-obligation script whose obligation counts its calls."""
+    script = ProofScript("P", "weakening", "Low", "High")
+    calls = counter if counter is not None else []
+
+    def obligation():
+        calls.append(1)
+        return proved()
+
+    script.add(Lemma("L1", "claims something", [body],
+                     obligation=obligation))
+    return script, calls
+
+
+class TestStructuralHash:
+    def test_stable(self):
+        assert structural_hash("a", ("b", 1)) == \
+            structural_hash("a", ("b", 1))
+
+    def test_no_concatenation_collisions(self):
+        assert structural_hash("ab") != structural_hash("a", "b")
+        assert structural_hash(("ab",)) != structural_hash(("a", "b"))
+
+    def test_type_tagged(self):
+        assert structural_hash(1) != structural_hash("1")
+        assert structural_hash(True) != structural_hash(1)
+
+
+class TestDescriptors:
+    def test_descriptor_is_picklable_and_hashable(self):
+        lemma = Lemma("L", "stmt", ["b1"], customization=["c1"])
+        descriptor = lemma.descriptor()
+        assert hash(descriptor) == hash(pickle.loads(
+            pickle.dumps(descriptor)
+        ))
+        assert descriptor == ObligationDescriptor.of(lemma)
+
+    def test_fingerprint_tracks_content(self):
+        base = Lemma("L", "stmt", ["b1"]).fingerprint()
+        assert Lemma("L", "stmt", ["b1"]).fingerprint() == base
+        assert Lemma("L", "stmt", ["b2"]).fingerprint() != base
+        assert Lemma("L", "stmt2", ["b1"]).fingerprint() != base
+        assert Lemma("L2", "stmt", ["b1"]).fingerprint() != base
+        custom = Lemma("L", "stmt", ["b1"])
+        custom.customization.append("assert extra;")
+        assert custom.fingerprint() != base
+
+
+class TestScheduler:
+    def test_stable_job_keys(self):
+        script, _ = make_script()
+        first = [j.key for j in lemma_jobs(script, "pf")]
+        second = [j.key for j in lemma_jobs(script, "pf")]
+        assert first == second
+
+    def test_definitional_lemmas_not_scheduled(self):
+        script, _ = make_script()
+        script.definitional("Defs", "datatypes", ["datatype T"])
+        assert len(lemma_jobs(script, "pf")) == 1
+
+    def test_key_depends_on_prover_fingerprint(self):
+        script, _ = make_script()
+        [a] = lemma_jobs(script, ProverConfig().fingerprint())
+        [b] = lemma_jobs(
+            script, ProverConfig(random_samples=64).fingerprint()
+        )
+        assert a.key != b.key
+
+
+class TestProofCache:
+    def test_hit_after_rerun(self, tmp_path):
+        counter = []
+        farm = VerificationFarm(FarmConfig(cache_dir=tmp_path / "c"))
+        script1, _ = make_script(counter=counter)
+        farm.discharge(lemma_jobs(script1, "pf"))
+        assert counter == [1]
+        assert script1.lemmas[0].verdict.ok
+
+        script2, _ = make_script(counter=counter)
+        farm2 = VerificationFarm(FarmConfig(cache_dir=tmp_path / "c"))
+        farm2.discharge(lemma_jobs(script2, "pf"))
+        assert counter == [1]  # obligation never re-ran
+        assert repr(script2.lemmas[0].verdict) == \
+            repr(script1.lemmas[0].verdict)
+        assert len(farm2.events.events(CACHE_HIT)) == 1
+
+    def test_invalidated_by_body_change(self, tmp_path):
+        counter = []
+        cache_dir = tmp_path / "c"
+        script1, _ = make_script("assert x > 0;", counter)
+        VerificationFarm(FarmConfig(cache_dir=cache_dir)).discharge(
+            lemma_jobs(script1, "pf")
+        )
+        script2, _ = make_script("assert x >= 1;", counter)
+        farm = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        farm.discharge(lemma_jobs(script2, "pf"))
+        assert counter == [1, 1]
+        assert not farm.events.events(CACHE_HIT)
+
+    def test_invalidated_by_customization(self, tmp_path):
+        counter = []
+        cache_dir = tmp_path / "c"
+        script1, _ = make_script(counter=counter)
+        VerificationFarm(FarmConfig(cache_dir=cache_dir)).discharge(
+            lemma_jobs(script1, "pf")
+        )
+        script2, _ = make_script(counter=counter)
+        script2.lemmas[0].customization.append("assert Extra(x);")
+        VerificationFarm(FarmConfig(cache_dir=cache_dir)).discharge(
+            lemma_jobs(script2, "pf")
+        )
+        assert counter == [1, 1]
+
+    def test_invalidated_by_prover_config_change(self, tmp_path):
+        counter = []
+        cache_dir = tmp_path / "c"
+        script1, _ = make_script(counter=counter)
+        VerificationFarm(FarmConfig(cache_dir=cache_dir)).discharge(
+            lemma_jobs(script1, ProverConfig().fingerprint())
+        )
+        script2, _ = make_script(counter=counter)
+        VerificationFarm(FarmConfig(cache_dir=cache_dir)).discharge(
+            lemma_jobs(
+                script2,
+                ProverConfig(exhaustive_bits=3).fingerprint(),
+            )
+        )
+        assert counter == [1, 1]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ProofCache(tmp_path / "c")
+        key = lemma_job_key(Lemma("L", "s", ["b"]), "pf")
+        assert cache.put(key, Verdict("proved"))
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()  # dropped
+        assert cache.misses == 1
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ProofCache(tmp_path / "c")
+        assert len(cache) == 0
+        cache.put("ab" + "0" * 62, Verdict("proved"))
+        cache.put("cd" + "0" * 62, Verdict("refuted"))
+        assert len(cache) == 2
+
+
+class TestEvents:
+    def test_lifecycle_events(self):
+        farm = VerificationFarm()
+        script, _ = make_script()
+        farm.discharge(lemma_jobs(script, "pf"))
+        assert len(farm.events.events(JOB_QUEUED)) == 1
+        assert len(farm.events.events(JOB_FINISHED)) == 1
+        summary = farm.summary()
+        assert summary.jobs == 1
+        assert summary.executed == 1
+        assert summary.cache_hits == 0
+        assert summary.max_queue_depth >= 1
+
+    def test_summary_line_mentions_mode(self):
+        farm = VerificationFarm(FarmConfig(jobs=3))
+        assert "[thread x3]" in farm.summary_line()
+
+
+class TestProcessFallback:
+    def test_closures_fall_back_inline(self):
+        farm = VerificationFarm(FarmConfig(jobs=2, mode="process"))
+        script, calls = make_script()
+        script.add(
+            Lemma("L2", "also claims", ["b2"],
+                  obligation=lambda: proved())
+        )
+        farm.discharge(lemma_jobs(script, "pf"))
+        assert calls == [1]
+        assert script.lemmas[0].verdict.ok
+        assert script.lemmas[1].verdict.ok
+        assert len(farm.events.events(POOL_FALLBACK)) == 2
+
+
+class TestModeEquivalence:
+    """Sequential, threaded, process, and cached runs of a full
+    case-study chain agree byte-for-byte on per-lemma verdicts."""
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        return load("tsp")
+
+    @pytest.fixture(scope="class")
+    def sequential(self, study):
+        return run_case_study(study)
+
+    def test_threaded_equivalent(self, study, sequential):
+        farm = VerificationFarm(FarmConfig(jobs=4))
+        report = run_case_study(study, farm=farm)
+        assert report.outcome.success == sequential.outcome.success
+        assert snapshot(report.outcome) == snapshot(sequential.outcome)
+
+    def test_process_equivalent(self, study, sequential):
+        farm = VerificationFarm(FarmConfig(jobs=2, mode="process"))
+        report = run_case_study(study, farm=farm)
+        assert report.outcome.success == sequential.outcome.success
+        assert snapshot(report.outcome) == snapshot(sequential.outcome)
+
+    def test_cached_equivalent_and_hit_rate(
+        self, study, sequential, tmp_path
+    ):
+        cache_dir = tmp_path / "proof-cache"
+        cold_farm = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        cold = run_case_study(study, farm=cold_farm)
+        assert snapshot(cold.outcome) == snapshot(sequential.outcome)
+
+        warm_farm = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        warm = run_case_study(study, farm=warm_farm)
+        assert warm.outcome.success == sequential.outcome.success
+        assert snapshot(warm.outcome) == snapshot(sequential.outcome)
+        summary = warm_farm.summary()
+        # Only the (uncacheable) whole-program checks may re-execute:
+        # every lemma obligation must come from the cache — comfortably
+        # above the >= 90% incrementality bar.
+        executed = [
+            event.label
+            for event in warm_farm.events.events(JOB_FINISHED)
+        ]
+        assert all(
+            "WholeProgramRefinement" in label for label in executed
+        )
+        lemma_obligations = summary.jobs - len(executed)
+        assert lemma_obligations > 0
+        assert summary.cache_hits == lemma_obligations
+        assert summary.cache_hits / lemma_obligations >= 0.9
+
+    def test_threaded_cached_combination(self, study, sequential,
+                                         tmp_path):
+        cache_dir = tmp_path / "proof-cache"
+        run_case_study(
+            study,
+            farm=VerificationFarm(FarmConfig(jobs=4,
+                                             cache_dir=cache_dir)),
+        )
+        farm = VerificationFarm(FarmConfig(jobs=4, cache_dir=cache_dir))
+        report = run_case_study(study, farm=farm)
+        assert snapshot(report.outcome) == snapshot(sequential.outcome)
+        assert farm.summary().cache_hits > 0
+
+
+class TestMachineFingerprint:
+    """Cache keys must track whole-machine semantics, not just lemma
+    text: reachability-based obligations depend on global initial
+    values that never appear in a lemma body."""
+
+    @pytest.fixture(scope="class")
+    def source(self):
+        path = (pathlib.Path(__file__).parent.parent
+                / "examples" / "running_example.arm")
+        return path.read_text()
+
+    def _verify(self, source, cache_dir):
+        from repro.proofs.engine import verify_source
+
+        farm = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        outcome = verify_source(source, farm=farm)
+        assert outcome.success
+        return farm.summary()
+
+    def test_semantic_edit_invalidates(self, source, tmp_path):
+        cache_dir = tmp_path / "proof-cache"
+        cold = self._verify(source, cache_dir)
+        assert cold.cache_hits == 0
+
+        warm = self._verify(source, cache_dir)
+        assert warm.cache_hits > 0
+
+        # Changing a global initializer changes the reachable-state
+        # space every path/ownership obligation quantifies over, even
+        # though no lemma statement or body mentions the literal.
+        edited = source.replace(
+            "best_len: uint32 := 255", "best_len: uint32 := 254"
+        )
+        assert edited != source
+        after_edit = self._verify(edited, cache_dir)
+        assert after_edit.cache_hits == 0
+
+    def test_formatting_edit_still_hits(self, source, tmp_path):
+        cache_dir = tmp_path / "proof-cache"
+        self._verify(source, cache_dir)
+        commented = "// formatting-only change\n" + source
+        summary = self._verify(commented, cache_dir)
+        assert summary.cache_hits > 0
