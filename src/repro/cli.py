@@ -4,6 +4,7 @@ Mirrors the workflow of Figure 1:
 
 * ``armada verify FILE``     — run every proof recipe in an Armada file
 * ``armada check FILE``      — parse/resolve/type-check only
+* ``armada analyze FILE``    — static race & TSO-robustness analysis
 * ``armada compile FILE``    — emit ClightTSO-flavoured C for a level
 * ``armada run FILE``        — execute a level on the reference runtime
 * ``armada casestudy NAME``  — verify one of the paper's case studies
@@ -25,6 +26,34 @@ DEFAULT_CACHE_DIR = ".armada-cache"
 def _default_cache_dir() -> str:
     """Resolved at parse time so $ARMADA_CACHE_DIR can redirect it."""
     return os.environ.get("ARMADA_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def _version() -> str:
+    """The installed package version, falling back to pyproject.toml
+    for source checkouts that were never pip-installed."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        pass
+    import re
+
+    pyproject = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+        "pyproject.toml",
+    )
+    try:
+        with open(pyproject, encoding="utf-8") as handle:
+            match = re.search(
+                r'^version\s*=\s*"([^"]+)"', handle.read(), re.MULTILINE
+            )
+            if match:
+                return match.group(1)
+    except OSError:
+        pass
+    return "unknown"
 
 
 def _read_source(path: str) -> str:
@@ -66,8 +95,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     engine = ProofEngine(
         checked, max_states=args.max_states,
         validate_refinement=args.validate, farm=farm,
+        analyze=args.analyze,
     )
     outcome = engine.run_all()
+    for note in outcome.analysis_notes:
+        print(note)
     for result in outcome.outcomes:
         status = "verified" if result.success else "FAILED"
         print(
@@ -87,6 +119,61 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         for line in farm.report_lines():
             print(line)
     return 0 if outcome.success else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_level
+    from repro.lang.frontend import check_program
+
+    if (args.file is None) == (args.casestudy is None):
+        print("armada analyze: provide a FILE or --casestudy NAME "
+              "(not both)", file=sys.stderr)
+        return 1
+    if args.casestudy is not None:
+        from repro.casestudies import ALL, load
+
+        if args.casestudy not in ALL:
+            valid = ", ".join(sorted(ALL))
+            print(
+                f"armada: unknown case study {args.casestudy!r} "
+                f"(valid names: {valid})",
+                file=sys.stderr,
+            )
+            return 1
+        study = load(args.casestudy)
+        source, filename = study.source, f"<{study.name}>"
+    else:
+        source, filename = _read_source(args.file), args.file
+    checked = check_program(source, filename)
+    level = args.level or checked.program.levels[0].name
+    ctx = checked.contexts.get(level)
+    if ctx is None:
+        names = ", ".join(l.name for l in checked.program.levels)
+        print(f"no level named {level} (levels: {names})",
+              file=sys.stderr)
+        return 1
+    result = analyze_level(
+        ctx,
+        max_states=args.max_states,
+        dynamic=not args.no_dynamic,
+    )
+    report = result.report()
+    print(report.to_json() if args.json else report.render_text())
+    racy = result.racy()
+    if args.expect_racy is not None:
+        expected = sorted(
+            name for name in args.expect_racy.split(",") if name
+        )
+        if racy != expected:
+            print(
+                f"analyze: expected RACY {expected}, got {racy}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if args.fail_on_race and racy:
+        return 1
+    return 0
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -129,6 +216,14 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
 
     if args.name == "all":
         names = list(ALL)
+    elif args.name not in ALL:
+        valid = ", ".join(sorted(ALL))
+        print(
+            f"armada: unknown case study {args.name!r} "
+            f"(valid names: {valid}, all)",
+            file=sys.stderr,
+        )
+        return 1
     else:
         names = [args.name]
     failed = False
@@ -168,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Armada reproduction: low-effort verification of "
         "high-performance concurrent programs (PLDI 2020)",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_version()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="parse and type-check a file")
@@ -205,7 +304,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the detailed farm report (cache hits, worker "
              "time, slowest obligations)",
     )
+    p.add_argument(
+        "--analyze", action="store_true",
+        help="run the static race/TSO-robustness analyzer on each "
+             "proof's low level: warns about tso_elim recipes naming "
+             "racy locations, suggests validated ownership "
+             "predicates, and fast-paths provably thread-local "
+             "eliminations",
+    )
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "analyze",
+        help="classify shared locations (races, lock discipline, TSO "
+             "robustness) and suggest tso_elim predicates",
+    )
+    p.add_argument("file", nargs="?", default=None)
+    p.add_argument("--casestudy", default=None, metavar="NAME",
+                   help="analyze a built-in case study instead of a "
+                        "file")
+    p.add_argument("--level", default=None,
+                   help="level to analyze (default: first)")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument(
+        "--no-dynamic", action="store_true",
+        help="skip the bounded dynamic cross-check (static only)",
+    )
+    p.add_argument(
+        "--fail-on-race", action="store_true",
+        help="exit 1 if any location is classified RACY",
+    )
+    p.add_argument(
+        "--expect-racy", default=None, metavar="NAMES",
+        help="comma-separated expected RACY set; exit 1 on mismatch "
+             "(use '' to assert race-freedom)",
+    )
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("compile", help="compile a level")
     p.add_argument("file")
@@ -236,7 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        # argparse exits for --version/--help and usage errors; keep
+        # main() returning an int for programmatic callers.
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return error.code if isinstance(error.code, int) else 1
     try:
         return args.func(args)
     except SystemExit as error:

@@ -77,6 +77,36 @@ class Explorer:
                     seen.add(nxt)
                     frontier.append(nxt)
 
+    def walk(
+        self,
+        visit: Callable[[ProgramState, list[Transition]], bool],
+        start: ProgramState | None = None,
+    ) -> bool:
+        """Visit every reachable state together with its enabled
+        transitions (the ingredients of the analyzer's dynamic race
+        scan).  *visit* returns ``False`` to stop early.  ``walk``
+        returns ``True`` iff the bounded state space was covered
+        completely: no early stop and no state-budget hit — only then
+        may a caller treat the absence of a witness as a refutation.
+        """
+        machine = self.machine
+        initial = start if start is not None else machine.initial_state()
+        seen = {initial}
+        frontier = [initial]
+        while frontier:
+            state = frontier.pop()
+            transitions = machine.enabled_transitions(state)
+            if visit(state, transitions) is False:
+                return False
+            if len(seen) > self.max_states:
+                return False
+            for transition in transitions:
+                nxt = machine.next_state(state, transition)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return True
+
     def explore(
         self,
         invariants: dict[str, Callable[[ProgramState], bool]] | None = None,

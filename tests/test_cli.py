@@ -70,11 +70,94 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pointers: verified" in out
 
+    def test_casestudy_unknown_name(self, capsys):
+        assert main(["casestudy", "nosuch"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown case study 'nosuch'" in err
+        for name in ("barrier", "mcslock", "pointers", "queue", "tsp"):
+            assert name in err
+
+    def test_version(self, capsys):
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("armada ")
+        version = out.split()[1]
+        assert version[0].isdigit()
+
     def test_parse_error_reported(self, tmp_path, capsys):
         path = tmp_path / "broken.arm"
         path.write_text("level {")
         assert main(["check", str(path)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture()
+    def racy_file(self, tmp_path):
+        path = tmp_path / "sb.arm"
+        path.write_text(
+            "level L { var x: uint32; var y: uint32; "
+            "var r1: uint32; var r2: uint32; "
+            "void t1() { x := 1; r1 := y; fence(); } "
+            "void main() { var a: uint64 := 0; "
+            "a := create_thread t1(); "
+            "y := 1; r2 := x; join a; fence(); print_uint32(r2); } }\n"
+        )
+        return str(path)
+
+    def test_analyze_text_report(self, racy_file, capsys):
+        assert main(["analyze", racy_file]) == 0
+        out = capsys.readouterr().out
+        assert "analysis of level L" in out
+        assert "RACY" in out
+        assert "witness:" in out
+
+    def test_analyze_json(self, racy_file, capsys):
+        import json
+
+        assert main(["analyze", racy_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["level"] == "L"
+        assert any(
+            f["classification"] == "RACY" for f in data["findings"]
+        )
+
+    def test_analyze_fail_on_race(self, racy_file):
+        assert main(["analyze", racy_file, "--fail-on-race"]) == 1
+
+    def test_analyze_expect_racy_match(self, racy_file):
+        assert main(
+            ["analyze", racy_file, "--expect-racy", "x,y"]
+        ) == 0
+
+    def test_analyze_expect_racy_mismatch(self, racy_file, capsys):
+        assert main(["analyze", racy_file, "--expect-racy", "x"]) == 1
+        assert "expected RACY" in capsys.readouterr().err
+
+    def test_analyze_casestudy_race_free(self, capsys):
+        assert main(
+            ["analyze", "--casestudy", "pointers", "--expect-racy", ""]
+        ) == 0
+
+    def test_analyze_requires_one_input(self, capsys):
+        assert main(["analyze"]) == 1
+        assert "FILE or --casestudy" in capsys.readouterr().err
+
+    def test_analyze_unknown_level(self, racy_file, capsys):
+        assert main(["analyze", racy_file, "--level", "Nope"]) == 1
+        assert "no level named Nope" in capsys.readouterr().err
+
+    def test_verify_analyze_notes(self, capsys):
+        from pathlib import Path
+
+        path = str(
+            Path(__file__).parent.parent / "examples"
+            / "running_example.arm"
+        )
+        assert main(["verify", path, "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis[" in out
+        assert "matches the analyzer's validated suggestion" in out
 
 
 class TestFileHandling:
