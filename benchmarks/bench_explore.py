@@ -1,0 +1,184 @@
+"""Partial-order reduction: payoff and equivalence, measured.
+
+For every case-study level and a set of TSO litmus shapes, the state
+space is explored twice — full interleaving fan-out vs ample-set
+reduction (``repro.explore.por``) — and the run asserts the two sweeps
+are *observationally identical* (same final outcomes, same UB reasons,
+same budget status) while recording how many states/transitions the
+reduction saved.  Results land in ``benchmarks/results/explore.{md,json}``.
+
+Set ``BENCH_EXPLORE_SMOKE=1`` to restrict the sweep to the smallest
+case study (CI's bench-smoke step).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _common import fmt_table, record
+from repro.casestudies import ALL, load
+from repro.explore import Explorer
+from repro.lang.frontend import check_level, check_program
+from repro.machine.translator import translate_level
+
+#: Explorer budget per study (mcslock/queue need the larger bound).
+STUDY_BUDGETS = {
+    "tsp": 200_000,
+    "barrier": 200_000,
+    "pointers": 200_000,
+    "mcslock": 400_000,
+    "queue": 400_000,
+}
+
+LITMUS_BUDGET = 200_000
+
+SMOKE = os.environ.get("BENCH_EXPLORE_SMOKE") == "1"
+
+
+def _print_regs(*names: str) -> str:
+    parts = []
+    for i, name in enumerate(names):
+        parts.append(f"var s{i}: uint32 := 0; s{i} := {name}; "
+                     f"print_uint32(s{i});")
+    return " ".join(parts)
+
+
+#: The classic x86-TSO shapes (see tests/test_tso_litmus.py).  IRIW is
+#: omitted: its 4M-state space makes the unreduced baseline too slow
+#: for a benchmark that runs both sides.
+LITMUS = {
+    "SB": (
+        "var x: uint32; var y: uint32; var r1: uint32; var r2: uint32; "
+        "void t1() { x := 1; r1 := y; fence(); } "
+        "void main() { var a: uint64 := 0; a := create_thread t1(); "
+        "y := 1; r2 := x; join a; fence(); "
+        + _print_regs("r1", "r2") + " }"
+    ),
+    "MP": (
+        "var data: uint32; var flag: uint32; "
+        "var rf: uint32; var rd: uint32; "
+        "void writer() { data := 42; flag := 1; } "
+        "void main() { var a: uint64 := 0; "
+        "a := create_thread writer(); "
+        "rf := flag; rd := data; join a; fence(); "
+        + _print_regs("rf", "rd") + " }"
+    ),
+    "LB": (
+        "var x: uint32; var y: uint32; "
+        "var r1: uint32; var r2: uint32; "
+        "void t1() { r1 := x; y := 1; } "
+        "void main() { var a: uint64 := 0; a := create_thread t1(); "
+        "r2 := y; x := 1; join a; fence(); "
+        + _print_regs("r1", "r2") + " }"
+    ),
+    "CoRR": (
+        "var x: uint32; var r1: uint32; var r2: uint32; "
+        "void writer() { x := 1; } "
+        "void main() { var a: uint64 := 0; "
+        "a := create_thread writer(); "
+        "r1 := x; r2 := x; join a; fence(); "
+        + _print_regs("r1", "r2") + " }"
+    ),
+}
+
+
+def _workloads():
+    """Yield (name, machine, budget) for every benchmarked program."""
+    studies = ["tsp"] if SMOKE else sorted(ALL)
+    for name in studies:
+        study = load(name)
+        checked = check_program(study.source, f"<{name}>")
+        for level in checked.program.levels:
+            yield (
+                f"{name}/{level.name}",
+                translate_level(checked.contexts[level.name]),
+                STUDY_BUDGETS[name],
+            )
+    if SMOKE:
+        return
+    for name, source in LITMUS.items():
+        machine = translate_level(
+            check_level("level L { " + source + " }")
+        )
+        yield f"litmus/{name}", machine, LITMUS_BUDGET
+
+
+def _explore(machine, budget: int, por: bool):
+    started = time.perf_counter()
+    result = Explorer(machine, budget, por=por).explore()
+    return result, time.perf_counter() - started
+
+
+def test_por_equivalence_and_payoff():
+    rows = []
+    data: dict = {"smoke": SMOKE, "programs": {}}
+    strict_reductions = 0
+
+    for name, machine, budget in _workloads():
+        off, off_s = _explore(machine, budget, por=False)
+        on, on_s = _explore(machine, budget, por=True)
+
+        # Observational equivalence: the reduction may only shrink the
+        # number of intermediate states, never change what the program
+        # can do.
+        assert not off.hit_state_budget, name
+        assert on.hit_state_budget == off.hit_state_budget, name
+        assert on.final_outcomes == off.final_outcomes, name
+        assert sorted(on.ub_reasons) == sorted(off.ub_reasons), name
+        assert on.assert_failures == off.assert_failures, name
+        assert on.states_visited <= off.states_visited, name
+
+        if on.states_visited < off.states_visited:
+            strict_reductions += 1
+        pruned = (
+            on.por_stats.transitions_pruned
+            if on.por_stats is not None else 0
+        )
+        saved_pct = (
+            100.0 * (off.states_visited - on.states_visited)
+            / off.states_visited
+        )
+        rows.append([
+            name,
+            off.states_visited,
+            on.states_visited,
+            f"{saved_pct:.1f}%",
+            off.transitions_taken,
+            on.transitions_taken,
+            pruned,
+            f"{off_s * 1000:.1f}",
+            f"{on_s * 1000:.1f}",
+        ])
+        data["programs"][name] = {
+            "states_full": off.states_visited,
+            "states_por": on.states_visited,
+            "states_saved_pct": saved_pct,
+            "transitions_full": off.transitions_taken,
+            "transitions_por": on.transitions_taken,
+            "transitions_pruned": pruned,
+            "seconds_full": off_s,
+            "seconds_por": on_s,
+            "outcomes_equal": True,
+        }
+
+    data["strict_reductions"] = strict_reductions
+    if not SMOKE:
+        # Acceptance: the reduction must strictly shrink the state
+        # space on at least 3 benchmarked programs.
+        assert strict_reductions >= 3, strict_reductions
+
+    lines = [
+        "Identical final outcomes, UB reasons and assertion verdicts "
+        "with and without ample-set reduction on every row "
+        f"({strict_reductions} rows strictly reduced).",
+        "",
+    ]
+    lines += fmt_table(
+        ["program", "states full", "states POR", "saved",
+         "transitions full", "transitions POR", "pruned",
+         "full (ms)", "POR (ms)"],
+        rows,
+    )
+    record("explore",
+           "Exploration: partial-order reduction payoff", lines, data)

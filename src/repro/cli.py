@@ -4,6 +4,7 @@ Mirrors the workflow of Figure 1:
 
 * ``armada verify FILE``     — run every proof recipe in an Armada file
 * ``armada check FILE``      — parse/resolve/type-check only
+* ``armada explore FILE``    — enumerate a level's reachable states
 * ``armada analyze FILE``    — static race & TSO-robustness analysis
 * ``armada compile FILE``    — emit ClightTSO-flavoured C for a level
 * ``armada run FILE``        — execute a level on the reference runtime
@@ -95,11 +96,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     engine = ProofEngine(
         checked, max_states=args.max_states,
         validate_refinement=args.validate, farm=farm,
-        analyze=args.analyze,
+        analyze=args.analyze, por=args.por,
     )
     outcome = engine.run_all()
     for note in outcome.analysis_notes:
         print(note)
+    if outcome.por_summary:
+        print(outcome.por_summary)
     for result in outcome.outcomes:
         status = "verified" if result.success else "FAILED"
         print(
@@ -119,6 +122,90 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         for line in farm.report_lines():
             print(line)
     return 0 if outcome.success else 1
+
+
+def _invariant_predicate(ctx, machine, source: str):
+    """Compile an ``--invariant`` expression into a state predicate.
+
+    The expression is evaluated for every live thread (so it may
+    mention locals of the thread's current method); evaluation that is
+    undefined for a particular thread — e.g. the predicate names a
+    local the thread does not have — is skipped rather than counted as
+    a violation.
+    """
+    from repro.lang import types as ty
+    from repro.lang.parser import parse_expression
+    from repro.lang.typechecker import TypeChecker
+    from repro.machine.evaluator import EvalContext, eval_expr
+    from repro.machine.state import UBSignal
+
+    expr = parse_expression(source)
+    TypeChecker(ctx)._check_expr(expr, None, ty.BOOL, two_state=False)
+
+    def predicate(state) -> bool:
+        tids = list(state.threads) or [1]
+        for tid in tids:
+            thread = state.threads.get(tid)
+            method = (
+                thread.top.method
+                if thread is not None and thread.frames
+                else machine.main_method
+            )
+            try:
+                value = eval_expr(EvalContext(ctx, state, tid, method), expr)
+            except (UBSignal, KeyError):
+                continue
+            if not bool(value):
+                return False
+        return True
+
+    return predicate
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import Explorer
+    from repro.lang.frontend import check_program
+    from repro.machine.translator import translate_level
+
+    source = _read_source(args.file)
+    checked = check_program(source, args.file)
+    level = args.level or checked.program.levels[0].name
+    ctx = checked.contexts.get(level)
+    if ctx is None:
+        names = ", ".join(l.name for l in checked.program.levels)
+        print(f"no level named {level} (levels: {names})",
+              file=sys.stderr)
+        return 1
+    machine = translate_level(ctx)
+    invariants = {
+        src: _invariant_predicate(ctx, machine, src)
+        for src in (args.invariant or [])
+    }
+    explorer = Explorer(machine, max_states=args.max_states, por=args.por)
+    result = explorer.explore(invariants=invariants or None)
+
+    print(f"level {level}: {result.states_visited} states, "
+          f"{result.transitions_taken} transitions explored")
+    if result.por_stats is not None:
+        print(result.por_stats.describe())
+    if result.hit_state_budget:
+        print(f"WARNING: state budget ({args.max_states}) exhausted — "
+              "the enumeration is incomplete; raise --max-states")
+    for kind, log in sorted(
+        result.final_outcomes, key=lambda o: (o[0], tuple(map(str, o[1])))
+    ):
+        print(f"outcome: {kind}, log={list(log)}")
+    for reason, trace in zip(result.ub_reasons, result.ub_traces):
+        print(f"undefined behavior: {reason}")
+        print("  trace: "
+              + (" ; ".join(t.describe() for t in trace) or "<initial>"))
+    for violation in result.violations:
+        print(f"invariant violated: {violation.invariant_name}")
+        print(f"  trace: {violation.format_trace()}")
+    failed = (
+        result.violations or result.has_ub or result.hit_state_budget
+    )
+    return 1 if failed else 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -312,7 +399,36 @@ def build_parser() -> argparse.ArgumentParser:
              "predicates, and fast-paths provably thread-local "
              "eliminations",
     )
+    p.add_argument(
+        "--por", action=argparse.BooleanOptionalAction, default=False,
+        help="ample-set partial-order reduction for obligation state "
+             "sweeps (off by default: obligation predicates may "
+             "quantify over private thread state that reduction "
+             "elides; the choice is part of the proof-cache key)",
+    )
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "explore",
+        help="enumerate a level's reachable states (bounded model "
+             "check), optionally checking invariants",
+    )
+    p.add_argument("file")
+    p.add_argument("--level", default=None,
+                   help="level to explore (default: first)")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument(
+        "--por", action=argparse.BooleanOptionalAction, default=True,
+        help="ample-set partial-order reduction (default: on; "
+             "outcomes, UB and invariant verdicts over shared state "
+             "are identical either way)",
+    )
+    p.add_argument(
+        "--invariant", action="append", default=None, metavar="EXPR",
+        help="boolean expression checked at every reachable state "
+             "(repeatable); violations print a replayable trace",
+    )
+    p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
         "analyze",

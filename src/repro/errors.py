@@ -76,6 +76,25 @@ class ProofFailure(ArmadaError):
     a Dafny verification error in §2.2)."""
 
 
+class StateBudgetExceeded(ArmadaError):
+    """Raised when bounded exploration exhausts its state budget before
+    covering the reachable state space.  Callers must never treat a
+    truncated enumeration as exhaustive: obligations that consume
+    ``Explorer.reachable_states`` see this error propagate into a
+    refuted/failed verdict instead of silently passing on partial
+    coverage."""
+
+    def __init__(self, max_states: int, message: str | None = None) -> None:
+        self.max_states = max_states
+        super().__init__(
+            message
+            or (
+                f"state budget exhausted after {max_states} states; "
+                "bounded exploration is incomplete (raise --max-states)"
+            )
+        )
+
+
 class CompileError(ArmadaError):
     """Raised by the compiler back ends."""
 

@@ -1,13 +1,16 @@
 """Explicit-state bounded model checking: exploration, invariants,
-and refinement (simulation) checking."""
+partial-order reduction, and refinement (simulation) checking."""
 
+from repro.errors import StateBudgetExceeded  # noqa: F401
 from repro.explore.explorer import (  # noqa: F401
     ExplorationResult,
     Explorer,
     InvariantViolation,
     final_logs,
 )
+from repro.explore.por import AmpleReducer, PorStats  # noqa: F401
 from repro.explore.refinement_check import (  # noqa: F401
+    RefinementCounterexample,
     RefinementResult,
     check_refinement,
     log_equal_relation,

@@ -6,24 +6,57 @@ transitions), honouring atomic-region scheduling.  It is the bounded
 model checker that discharges whole-program obligations in this
 reproduction (see DESIGN.md: it plays the role Dafny/Z3 play in the
 paper's toolchain, with bounded instead of unbounded guarantees).
+
+Three contracts this module is careful about:
+
+* **Order**: exploration is genuine breadth-first (``deque.popleft``),
+  so the first path that reaches a state is a shortest path and every
+  reported counterexample trace is minimal.
+* **Budget**: ``max_states`` is a hard upper bound on the number of
+  *distinct* states admitted (the initial state counts).  Truncation is
+  never silent — ``reachable_states`` raises
+  :class:`~repro.errors.StateBudgetExceeded`, ``walk`` returns
+  ``False``, and ``explore`` sets ``hit_state_budget``.
+* **Traces**: ``explore`` keeps a parent pointer per admitted state, so
+  every :class:`InvariantViolation` (and every UB outcome) carries the
+  shortest transition sequence that reproduces it from the initial
+  state.
+
+Partial-order reduction (``por=True``) prunes provably-equivalent
+interleavings via :class:`~repro.explore.por.AmpleReducer`; the visited
+final outcomes, UB reasons and violations are unchanged, only the
+number of intermediate states shrinks.  Callers that inspect *every*
+state/transition pair for their own purposes (the analyzer's race scan)
+must leave it off.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.errors import StateBudgetExceeded
+from repro.explore.por import AmpleReducer, PorStats
 from repro.machine.program import StateMachine, Transition
 from repro.machine.state import ProgramState, TERM_UB
 
 
 @dataclass
 class InvariantViolation:
-    """A reachable state where a checked invariant failed."""
+    """A reachable state where a checked invariant failed.
+
+    ``trace`` is the shortest transition sequence from the initial
+    state to ``state`` (replayable via ``machine.next_state``).
+    """
 
     state: ProgramState
     invariant_name: str
     trace: tuple[Transition, ...] = ()
+
+    def format_trace(self) -> str:
+        return " ; ".join(t.describe() for t in self.trace) or "<initial>"
 
 
 @dataclass
@@ -34,9 +67,13 @@ class ExplorationResult:
     transitions_taken: int = 0
     final_outcomes: set = field(default_factory=set)
     ub_reasons: list[str] = field(default_factory=list)
+    #: Shortest trace to each UB outcome, aligned with ``ub_reasons``.
+    ub_traces: list[tuple[Transition, ...]] = field(default_factory=list)
     assert_failures: int = 0
     violations: list[InvariantViolation] = field(default_factory=list)
     hit_state_budget: bool = False
+    #: Reduction counters for this exploration (None when POR is off).
+    por_stats: PorStats | None = None
 
     @property
     def has_ub(self) -> bool:
@@ -48,78 +85,138 @@ class ExplorationResult:
 
 
 class Explorer:
-    """Breadth-first enumeration of the reachable state space."""
+    """Breadth-first enumeration of the reachable state space.
+
+    ``por`` selects partial-order reduction: ``None``/``False`` for the
+    full interleaving fan-out, ``True`` to build a fresh
+    :class:`AmpleReducer` for this machine, or an existing reducer to
+    share its (lazily computed) independence facts across explorations.
+    """
 
     def __init__(
         self,
         machine: StateMachine,
         max_states: int = 2_000_000,
+        por: AmpleReducer | bool | None = None,
     ) -> None:
         self.machine = machine
         self.max_states = max_states
+        if por is True:
+            por = AmpleReducer(machine)
+        self.reducer: AmpleReducer | None = por or None
+
+    # ------------------------------------------------------------------
+
+    def _successors(
+        self,
+        state: ProgramState,
+        transitions: list[Transition],
+        seen: dict,
+    ) -> tuple[list[Transition], list[ProgramState]]:
+        """Transitions to expand at *state* and their successor states
+        (the ample subset under POR, everything otherwise)."""
+        if self.reducer is not None:
+            reduced = self.reducer.ample(state, transitions, seen)
+            if reduced is not None:
+                return reduced
+        machine = self.machine
+        return transitions, [
+            machine.next_state(state, tr) for tr in transitions
+        ]
 
     def reachable_states(
         self, start: ProgramState | None = None
     ) -> Iterable[ProgramState]:
-        """Yield every reachable state (deduplicated), BFS order."""
+        """Yield every reachable state (deduplicated) in BFS order.
+
+        At most ``max_states`` states are yielded.  If the state space
+        was not exhausted within the budget, raises
+        :class:`StateBudgetExceeded` *after* the final yield — callers
+        consuming the enumeration as evidence of full coverage fail
+        loudly instead of silently accepting a truncated sweep.
+        """
         machine = self.machine
         initial = start if start is not None else machine.initial_state()
-        seen = {initial}
-        frontier = [initial]
+        # The seen dict doubles as the interning table: each admitted
+        # state is its own canonical representative, and equal
+        # successors are dropped after one (cached-) hash lookup.
+        seen: dict[ProgramState, ProgramState] = {initial: initial}
+        frontier: deque[ProgramState] = deque((initial,))
+        truncated = False
         while frontier:
-            state = frontier.pop()
+            state = frontier.popleft()
             yield state
-            if len(seen) > self.max_states:
-                return
-            for transition in machine.enabled_transitions(state):
-                nxt = machine.next_state(state, transition)
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
+            transitions = machine.enabled_transitions(state)
+            _, successors = self._successors(state, transitions, seen)
+            for nxt in successors:
+                if nxt in seen:
+                    continue
+                if len(seen) >= self.max_states:
+                    truncated = True
+                    continue
+                seen[nxt] = nxt
+                frontier.append(nxt)
+        if truncated:
+            raise StateBudgetExceeded(self.max_states)
 
     def walk(
         self,
         visit: Callable[[ProgramState, list[Transition]], bool],
         start: ProgramState | None = None,
     ) -> bool:
-        """Visit every reachable state together with its enabled
+        """Visit every reachable state (BFS) together with its enabled
         transitions (the ingredients of the analyzer's dynamic race
-        scan).  *visit* returns ``False`` to stop early.  ``walk``
-        returns ``True`` iff the bounded state space was covered
-        completely: no early stop and no state-budget hit — only then
-        may a caller treat the absence of a witness as a refutation.
+        scan).  *visit* always receives the **full** enabled-transition
+        list — POR only narrows which successors are expanded, never
+        what a visitor observes at a state.  *visit* returns ``False``
+        to stop early.  ``walk`` returns ``True`` iff the bounded state
+        space was covered completely: no early stop and no state-budget
+        hit — only then may a caller treat the absence of a witness as
+        a refutation.
         """
         machine = self.machine
         initial = start if start is not None else machine.initial_state()
-        seen = {initial}
-        frontier = [initial]
+        seen: dict[ProgramState, ProgramState] = {initial: initial}
+        frontier: deque[ProgramState] = deque((initial,))
+        complete = True
         while frontier:
-            state = frontier.pop()
+            state = frontier.popleft()
             transitions = machine.enabled_transitions(state)
             if visit(state, transitions) is False:
                 return False
-            if len(seen) > self.max_states:
-                return False
-            for transition in transitions:
-                nxt = machine.next_state(state, transition)
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return True
+            _, successors = self._successors(state, transitions, seen)
+            for nxt in successors:
+                if nxt in seen:
+                    continue
+                if len(seen) >= self.max_states:
+                    complete = False
+                    continue
+                seen[nxt] = nxt
+                frontier.append(nxt)
+        return complete
 
     def explore(
         self,
         invariants: dict[str, Callable[[ProgramState], bool]] | None = None,
         start: ProgramState | None = None,
     ) -> ExplorationResult:
-        """Explore exhaustively, checking *invariants* at every state."""
+        """Explore exhaustively (BFS), checking *invariants* at every
+        state.  Violations and UB outcomes carry shortest replayable
+        traces, reconstructed from per-state parent pointers."""
         machine = self.machine
         initial = start if start is not None else machine.initial_state()
         result = ExplorationResult()
-        seen = {initial}
-        frontier = [initial]
+        stats_before = (
+            dataclasses.replace(self.reducer.stats)
+            if self.reducer is not None else None
+        )
+        seen: dict[ProgramState, ProgramState] = {initial: initial}
+        parents: dict[
+            ProgramState, tuple[ProgramState, Transition] | None
+        ] = {initial: None}
+        frontier: deque[ProgramState] = deque((initial,))
         while frontier:
-            state = frontier.pop()
+            state = frontier.popleft()
             result.states_visited += 1
             if invariants:
                 for name, predicate in invariants.items():
@@ -128,15 +225,16 @@ class Explorer:
                     except Exception:  # predicate crashed: count as failure
                         holds = False
                     if not holds:
-                        result.violations.append(
-                            InvariantViolation(state, name)
-                        )
+                        result.violations.append(InvariantViolation(
+                            state, name, trace=_trace_to(parents, state),
+                        ))
             if state.termination is not None:
                 result.final_outcomes.add(
                     (state.termination.kind, state.log)
                 )
                 if state.termination.kind == TERM_UB:
                     result.ub_reasons.append(state.termination.detail)
+                    result.ub_traces.append(_trace_to(parents, state))
                 if state.termination.kind == "assert_failure":
                     result.assert_failures += 1
                 continue
@@ -144,18 +242,50 @@ class Explorer:
             if not transitions:
                 result.final_outcomes.add(("deadlock", state.log))
                 continue
-            if len(seen) > self.max_states:
-                result.hit_state_budget = True
-                return result
-            for transition in transitions:
+            used, successors = self._successors(state, transitions, seen)
+            for tr, nxt in zip(used, successors):
                 result.transitions_taken += 1
-                nxt = machine.next_state(state, transition)
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
+                if nxt in seen:
+                    continue
+                if len(seen) >= self.max_states:
+                    result.hit_state_budget = True
+                    continue
+                seen[nxt] = nxt
+                parents[nxt] = (state, tr)
+                frontier.append(nxt)
+        if self.reducer is not None and stats_before is not None:
+            after = self.reducer.stats
+            result.por_stats = PorStats(
+                ample_states=after.ample_states - stats_before.ample_states,
+                full_states=after.full_states - stats_before.full_states,
+                transitions_pruned=(
+                    after.transitions_pruned
+                    - stats_before.transitions_pruned
+                ),
+            )
         return result
 
 
-def final_logs(machine: StateMachine, max_states: int = 2_000_000) -> set:
+def _trace_to(
+    parents: dict, state: ProgramState
+) -> tuple[Transition, ...]:
+    """Walk the parent pointers back to the initial state."""
+    trace: list[Transition] = []
+    current = state
+    while True:
+        entry = parents[current]
+        if entry is None:
+            break
+        current, transition = entry
+        trace.append(transition)
+    trace.reverse()
+    return tuple(trace)
+
+
+def final_logs(
+    machine: StateMachine,
+    max_states: int = 2_000_000,
+    por: AmpleReducer | bool | None = None,
+) -> set:
     """All (termination kind, log) outcomes of a machine's behaviours."""
-    return Explorer(machine, max_states).explore().final_outcomes
+    return Explorer(machine, max_states, por=por).explore().final_outcomes

@@ -1,0 +1,240 @@
+"""Ample-set partial-order reduction for the explicit-state explorer.
+
+Naive exploration enumerates every interleaving of every thread, but
+most of those interleavings only permute steps that cannot observe each
+other.  The classical remedy is an *ample set* (Peled): at a state where
+some thread's next moves are provably independent of everything the
+other threads can do, explore only that thread and discard the sibling
+interleavings — every pruned path is Mazurkiewicz-equivalent to a
+retained one, so final outcomes, termination kinds, logs, deadlocks and
+every property over non-private shared state are preserved exactly.
+
+The reducer combines a **static** filter with a **dynamic** guard:
+
+* Statically (:func:`repro.analysis.independence.step_independence`), a
+  step qualifies only if its effects are confined to the firing thread's
+  private pc/locals/buffer and *private globals* (locations only that
+  thread can ever touch), and its reads cannot be influenced by any
+  other thread (see that module for the TSO argument).  Store-buffer
+  drains qualify when the drained entry targets a private global.
+* Dynamically, before pruning at a concrete state, every transition of
+  the candidate thread is executed and its successor checked to confirm
+  the static promise — shared memory, ghosts, allocation, the log, the
+  termination status, the atomic-region owner, the scheduler counters
+  and every *other* thread must be bit-identical, the candidate must
+  not terminate (a join elsewhere could observe that), and its store
+  buffer may only have appended entries for private globals.
+
+The four ample-set conditions map onto this as follows:
+
+* **C0** (nonempty): an empty candidate set falls back to full
+  expansion.
+* **C1** (dependence): other threads' transitions are independent of
+  the candidate's by the static argument; the candidate thread's *own*
+  alternative steps all sit in the ample set because we require every
+  step at its pc to be statically local — a disabled local twin (e.g.
+  the false branch) has a guard over other-thread-unwritable data, so
+  no other thread can enable it behind our back.  Pending drains are in
+  the ample set too (the whole buffer must be private).
+* **C2** (invisibility): the dynamic guard rejects any successor that
+  changes the log or terminates.
+* **C3** (cycle proviso): pruning is only allowed when every ample
+  successor is a *new* state (not yet in the explorer's seen set), so
+  an enabled-but-pruned transition can never be postponed around a
+  cycle forever.
+
+The reduction is sound for every property another thread or the
+environment can observe — final outcomes, UB reasons, assert failures,
+deadlocks, and invariants over multithreaded shared state.  It can hide
+intermediate *private* configurations (a pruned sibling differs only in
+the candidate thread's pc/locals/buffer and its private globals), so it
+is **off by default** in the proof engine, whose obligation predicates
+may inspect exactly such private state mid-stride (``--por`` opts in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Container
+
+from repro.machine.program import StateMachine, Transition
+from repro.machine.state import ProgramState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.independence import IndependenceFacts
+
+
+@dataclass
+class PorStats:
+    """How much the reduction actually pruned during one exploration."""
+
+    ample_states: int = 0  #: states expanded via a singleton-thread ample set
+    full_states: int = 0  #: states that needed the full fan-out
+    transitions_pruned: int = 0  #: enabled transitions not explored
+
+    def describe(self) -> str:
+        total = self.ample_states + self.full_states
+        return (
+            f"POR: {self.ample_states}/{total} states reduced, "
+            f"{self.transitions_pruned} transitions pruned"
+        )
+
+    def merge(self, other: "PorStats") -> None:
+        self.ample_states += other.ample_states
+        self.full_states += other.full_states
+        self.transitions_pruned += other.transitions_pruned
+
+
+class AmpleReducer:
+    """Per-machine ample-set selector.
+
+    One reducer instance serves every exploration of one machine: the
+    static independence facts are computed once, lazily, on first use.
+    """
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        facts: "IndependenceFacts | None" = None,
+    ) -> None:
+        self.machine = machine
+        self._facts = facts
+        self.stats = PorStats()
+
+    @property
+    def facts(self) -> "IndependenceFacts":
+        if self._facts is None:
+            # Deferred: repro.analysis reaches back into the strategy
+            # layer, which imports repro.explore.
+            from repro.analysis.independence import step_independence
+
+            self._facts = step_independence(self.machine.ctx, self.machine)
+        return self._facts
+
+    # ------------------------------------------------------------------
+
+    def _buffer_private(self, buffer: tuple) -> bool:
+        """Every pending store targets a private global (so every drain
+        of this buffer is invisible to other threads)."""
+        private = self.facts.private_globals
+        for location, _value in buffer:
+            root = location.root
+            if root.kind != "global" or root.name not in private:
+                return False
+        return True
+
+    def ample(
+        self,
+        state: ProgramState,
+        transitions: list[Transition],
+        seen: Container[ProgramState],
+    ) -> tuple[list[Transition], list[ProgramState]] | None:
+        """Select an ample subset of *transitions* at *state*.
+
+        Returns ``(ample_transitions, their_successors)`` when a sound
+        singleton-thread reduction exists, or ``None`` to request full
+        expansion.  Successors are returned so the explorer does not
+        recompute them.
+        """
+        if state.atomic_owner is not None or len(transitions) < 2:
+            # Inside an atomic region only one thread schedules anyway;
+            # with < 2 transitions there is nothing to prune.
+            self.stats.full_states += 1
+            return None
+
+        by_tid: dict[int, list[Transition]] = {}
+        for tr in transitions:
+            by_tid.setdefault(tr.tid, []).append(tr)
+        if len(by_tid) < 2:
+            self.stats.full_states += 1
+            return None
+
+        local_ids = self.facts.local_step_ids
+        machine = self.machine
+        for tid in sorted(by_tid):
+            candidate = by_tid[tid]
+            thread = state.threads[tid]
+            if not self._buffer_private(thread.store_buffer):
+                continue
+            if thread.pc is not None:
+                # Every step at this pc — enabled or not — must be
+                # local, or a concurrently-enabled dependent twin could
+                # be missed (C1).
+                pc_steps = machine.steps_at(thread.pc)
+                if any(id(step) not in local_ids for step in pc_steps):
+                    continue
+            successors = self._check_successors(state, candidate, seen)
+            if successors is None:
+                continue
+            self.stats.ample_states += 1
+            self.stats.transitions_pruned += (
+                len(transitions) - len(candidate)
+            )
+            return candidate, successors
+
+        self.stats.full_states += 1
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _check_successors(
+        self,
+        state: ProgramState,
+        candidate: list[Transition],
+        seen: Container[ProgramState],
+    ) -> list[ProgramState] | None:
+        """Run the dynamic invisibility/commutation guard (C2, C3)."""
+        machine = self.machine
+        tid = candidate[0].tid
+        old_thread = state.threads[tid]
+        old_sb = old_thread.store_buffer
+        successors: list[ProgramState] = []
+        for tr in candidate:
+            nxt = machine.next_state(state, tr)
+            if tr.is_drain:
+                # A drain of a private entry only pops the candidate's
+                # buffer and writes the private cell back; nothing else
+                # can change.  C3 still applies.
+                if nxt in seen:
+                    return None
+                successors.append(nxt)
+                continue
+            if nxt.termination is not None:
+                return None
+            if nxt.log != state.log:
+                return None
+            if nxt.memory is not state.memory and nxt.memory != state.memory:
+                return None
+            if nxt.ghosts is not state.ghosts and nxt.ghosts != state.ghosts:
+                return None
+            if (nxt.allocation is not state.allocation
+                    and nxt.allocation != state.allocation):
+                return None
+            if (nxt.atomic_owner != state.atomic_owner
+                    or nxt.next_tid != state.next_tid
+                    or nxt.next_serial != state.next_serial
+                    or len(nxt.threads) != len(state.threads)):
+                return None
+            moved = nxt.threads.get(tid)
+            if moved is None or moved.pc is None:
+                # Termination is visible: it enables joins elsewhere.
+                return None
+            new_sb = moved.store_buffer
+            if new_sb != old_sb:
+                # The step may only *append* stores to private globals.
+                if new_sb[: len(old_sb)] != old_sb:
+                    return None
+                if not self._buffer_private(new_sb[len(old_sb):]):
+                    return None
+            for other_tid, other in state.threads.items():
+                if other_tid == tid:
+                    continue
+                nxt_other = nxt.threads.get(other_tid)
+                if nxt_other is not other and nxt_other != other:
+                    return None
+            # C3: never prune into an already-seen state, or a pruned
+            # sibling could be postponed forever around a cycle.
+            if nxt in seen:
+                return None
+            successors.append(nxt)
+        return successors

@@ -19,6 +19,7 @@ high-level program does."
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -143,23 +144,19 @@ def check_refinement(
             ),
         )
 
-    seen: set[tuple[ProgramState, frozenset]] = set()
-    frontier: list[tuple[ProgramState, frozenset, tuple]] = [
-        (low_init, initial_set, ())
-    ]
-    seen.add((low_init, initial_set))
+    # BFS over the product (low state, high-state set), with parent
+    # pointers instead of per-entry trace tuples: the first path to any
+    # product state is a shortest one, so counterexample traces are
+    # minimal, and trace storage is O(states), not O(states * depth).
+    init_key = (low_init, initial_set)
+    parents: dict[tuple, tuple[tuple, object] | None] = {init_key: None}
+    frontier: deque[tuple[ProgramState, frozenset]] = deque((init_key,))
     product_states = 0
 
     while frontier:
-        low_state, high_set, trace = frontier.pop()
+        key = frontier.popleft()
+        low_state, high_set = key
         product_states += 1
-        if product_states > max_product_states:
-            return RefinementResult(
-                holds=False, product_states=product_states, hit_budget=True,
-                counterexample=RefinementCounterexample(
-                    low_state, "product state budget exhausted", trace
-                ),
-            )
         if low_state.termination is not None:
             continue
         for transition in low.enabled_transitions(low_state):
@@ -176,13 +173,40 @@ def check_refinement(
                         next_low,
                         "no high-level state simulates low-level "
                         f"transition {transition.describe()}",
-                        trace + (transition,),
+                        _product_trace(parents, key) + (transition,),
                     ),
                 )
-            key = (next_low, next_high)
-            if key not in seen:
-                seen.add(key)
-                frontier.append(
-                    (next_low, next_high, trace + (transition,))
+            next_key = (next_low, next_high)
+            if next_key in parents:
+                continue
+            if len(parents) >= max_product_states:
+                # Honest truncation: the budget is a hard bound on the
+                # number of admitted product states, and hitting it is
+                # always reported as a failed (inconclusive) check.
+                return RefinementResult(
+                    holds=False,
+                    product_states=product_states,
+                    hit_budget=True,
+                    counterexample=RefinementCounterexample(
+                        next_low,
+                        "product state budget exhausted",
+                        _product_trace(parents, key) + (transition,),
+                    ),
                 )
+            parents[next_key] = (key, transition)
+            frontier.append(next_key)
     return RefinementResult(holds=True, product_states=product_states)
+
+
+def _product_trace(parents: dict, key: tuple) -> tuple:
+    """Low-level transitions from the initial product state to *key*."""
+    trace = []
+    current = key
+    while True:
+        entry = parents[current]
+        if entry is None:
+            break
+        current, transition = entry
+        trace.append(transition)
+    trace.reverse()
+    return tuple(trace)

@@ -58,6 +58,9 @@ class Frame:
     locals: PMap
     return_pc: str | None = None
     return_lhs_key: Any = None  # local name to receive the return value
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +72,9 @@ class ThreadState:
     pc: str | None  # None once the thread has terminated (returned)
     frames: tuple[Frame, ...] = ()
     store_buffer: tuple[tuple[Location, Any], ...] = ()
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def terminated(self) -> bool:
@@ -123,6 +129,9 @@ class ProgramState:
     #: The thread currently inside an uninterruptible (atomic /
     #: explicit_yield) region, if any.  Other threads may not step.
     atomic_owner: int | None = None
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- convenience ----------------------------------------------------
 
@@ -189,6 +198,53 @@ class ProgramState:
             allocation=PMap(allocation),
             ghosts=PMap(ghosts),
         )
+
+
+# ---------------------------------------------------------------------------
+# Cached hashing.  The explorer hashes every state it admits to the seen
+# set; hashing whole states is the explorer's hottest operation.  Each
+# node caches its hash in a ``_hash`` slot (init=False, so
+# ``dataclasses.replace`` resets it on derived objects), and the PMap
+# components hash incrementally, so a successor state re-hashes only the
+# thread/cell that actually changed.  The ``__hash__`` assignments must
+# come *after* the class definitions: ``@dataclass(frozen=True)``
+# installs its own generated ``__hash__`` on the class.
+
+
+def _frame_hash(self: Frame) -> int:
+    h = self._hash
+    if h is None:
+        h = hash((
+            self.method, self.serial, self.locals,
+            self.return_pc, self.return_lhs_key,
+        ))
+        object.__setattr__(self, "_hash", h)
+    return h
+
+
+def _thread_hash(self: ThreadState) -> int:
+    h = self._hash
+    if h is None:
+        h = hash((self.tid, self.pc, self.frames, self.store_buffer))
+        object.__setattr__(self, "_hash", h)
+    return h
+
+
+def _program_hash(self: ProgramState) -> int:
+    h = self._hash
+    if h is None:
+        h = hash((
+            self.threads, self.memory, self.allocation, self.ghosts,
+            self.log, self.termination, self.next_tid,
+            self.next_serial, self.atomic_owner,
+        ))
+        object.__setattr__(self, "_hash", h)
+    return h
+
+
+Frame.__hash__ = _frame_hash  # type: ignore[method-assign]
+ThreadState.__hash__ = _thread_hash  # type: ignore[method-assign]
+ProgramState.__hash__ = _program_hash  # type: ignore[method-assign]
 
 
 EMPTY_STATE = ProgramState(

@@ -74,6 +74,10 @@ class ChainOutcome:
     #: suggestions, and fast-path discharges.  Empty when analysis is
     #: off.
     analysis_notes: list[str] = field(default_factory=list)
+    #: Aggregate ample-set reduction statistics across every state sweep
+    #: the proofs performed (``--por``); None when reduction is off or
+    #: no strategy enumerated states.
+    por_summary: str | None = None
 
     @property
     def success(self) -> bool:
@@ -111,6 +115,7 @@ class ProofEngine:
         validate_refinement: str = "auto",
         farm: VerificationFarm | None = None,
         analyze: bool = False,
+        por: bool = False,
     ) -> None:
         """``validate_refinement``: ``"always"`` runs the whole-program
         bounded simulation check for every pair, ``"auto"`` only when a
@@ -125,6 +130,14 @@ class ProofEngine:
         :class:`ProofRequest` (enabling fast paths such as tso_elim's
         trivial discharge for provably thread-local locations), and
         collect recipe advisories into ``ChainOutcome.analysis_notes``.
+
+        ``por``: enable ample-set partial-order reduction for the state
+        sweeps obligations perform.  Off by default — sound for every
+        property over multithreaded shared state, but an obligation
+        predicate may quantify over intermediate private-thread
+        configurations that reduction elides (see
+        :mod:`repro.explore.por`).  The choice is part of the farm
+        cache fingerprint, so reduced and unreduced verdicts never mix.
         """
         self.checked = checked
         self.prover = prover or Prover()
@@ -133,9 +146,11 @@ class ProofEngine:
         self.validate_refinement = validate_refinement
         self.farm = farm or VerificationFarm()
         self.analyze = analyze
+        self.por = por
         self._machines: dict[str, StateMachine] = {}
         self._analyses: dict[str, "object"] = {}
         self._analysis_notes: list[str] = []
+        self._requests: list[ProofRequest] = []
 
     # ------------------------------------------------------------------
 
@@ -241,7 +256,9 @@ class ProofEngine:
                 high_machine=self.machine(proof.high_level),
                 prover=self.prover,
                 max_states=self.max_states,
+                por=self.por,
             )
+            self._requests.append(request)
             if self.analyze:
                 request.analysis = self.analysis(proof.low_level)
                 self._analysis_notes.extend(
@@ -279,7 +296,7 @@ class ProofEngine:
             )
         return (
             f"{self.prover.fingerprint()}|max_states={self.max_states}"
-            f"|{domain_part}"
+            f"|por={'on' if self.por else 'off'}|{domain_part}"
         )
 
     def _machine_fingerprint(self, proof: ast.ProofDecl) -> str:
@@ -483,7 +500,8 @@ class ProofEngine:
                 batch.extend(self._schedule(prep))
         self.farm.discharge(batch)
         chain_outcome = ChainOutcome(
-            analysis_notes=list(self._analysis_notes)
+            analysis_notes=list(self._analysis_notes),
+            por_summary=self._por_summary(),
         )
         for prep in preps:
             chain_outcome.outcomes.append(self._finalize(prep))
@@ -494,6 +512,22 @@ class ProofEngine:
             chain_outcome.success and len(chain_outcome.chain) >= 2
         )
         return chain_outcome
+
+    def _por_summary(self) -> str | None:
+        """Merge ample-set statistics from every request's reducers."""
+        if not self.por:
+            return None
+        from repro.explore.por import PorStats
+
+        merged = PorStats()
+        seen_reducer = False
+        for request in self._requests:
+            for reducer in request._reducers.values():
+                merged.merge(reducer.stats)
+                seen_reducer = True
+        if not seen_reducer:
+            return None
+        return merged.describe()
 
     def _compose_chain(self) -> tuple[list[str], str | None]:
         """Order the levels by following the proofs' low→high edges from
@@ -549,12 +583,13 @@ def verify_source(
     validate_refinement: str = "auto",
     farm: VerificationFarm | None = None,
     analyze: bool = False,
+    por: bool = False,
 ) -> ChainOutcome:
     """Parse, check, and verify a complete Armada program text."""
     checked = check_program(source, filename)
     engine = ProofEngine(
         checked, max_states=max_states,
         validate_refinement=validate_refinement,
-        farm=farm, analyze=analyze,
+        farm=farm, analyze=analyze, por=por,
     )
     return engine.run_all()

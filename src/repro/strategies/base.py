@@ -49,18 +49,45 @@ class ProofRequest:
     #: consult it for fast paths (e.g. tso_elim discharges ownership
     #: obligations trivially for provably thread-local locations).
     analysis: Any = None
+    #: Enable ample-set partial-order reduction for the state sweeps
+    #: obligations perform.  Off by default: POR preserves outcomes and
+    #: multithreaded shared state but may hide intermediate *private*
+    #: thread configurations, which an obligation predicate could
+    #: legitimately quantify over.  The engine's ``por=True`` opts in
+    #: (and records the choice in the proof-cache fingerprint).
+    por: bool = False
     _reachable_cache: dict = field(default_factory=dict)
+    _reducers: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 
+    def _por_for(self, machine: StateMachine):
+        """A shared per-machine reducer (static facts computed once)."""
+        if not self.por:
+            return None
+        key = id(machine)
+        if key not in self._reducers:
+            from repro.explore.por import AmpleReducer
+
+            self._reducers[key] = AmpleReducer(machine)
+        return self._reducers[key]
+
     def reachable_states(self, machine: StateMachine) -> list[ProgramState]:
-        """Reachable states of *machine*, cached across lemmas."""
+        """Reachable states of *machine*, cached across lemmas.
+
+        Raises :class:`repro.errors.StateBudgetExceeded` when the state
+        space does not fit in ``max_states`` — the farm turns that into
+        a refuted verdict, so a truncated sweep can never silently pass
+        an obligation.
+        """
         key = id(machine)
         if key not in self._reachable_cache:
             from repro.explore.explorer import Explorer
 
             states = list(
-                Explorer(machine, self.max_states).reachable_states()
+                Explorer(
+                    machine, self.max_states, por=self._por_for(machine)
+                ).reachable_states()
             )
             self._reachable_cache[key] = states
         return self._reachable_cache[key]

@@ -163,3 +163,45 @@ class TestEngineMechanics:
         )
         assert not outcome.outcomes[0].success
         assert "correspondence" in outcome.outcomes[0].error
+
+
+#: A refinement whose obligations enumerate reachable states (tso_elim
+#: ownership sweeps), used to probe budget and reduction behaviour.
+SWEEPING_PROOF = (
+    "level Low { var x: uint32 := 0; void main() { "
+    "x := x + 1; x := x + 2; print_uint32(x); } } "
+    "level High { var x: uint32 := 0; void main() { "
+    "x ::= x + 1; x ::= x + 2; print_uint32(x); } } "
+    'proof P { refinement Low High tso_elim x "true" }'
+)
+
+
+class TestStateBudgetHonesty:
+    def test_truncated_sweep_refutes_instead_of_passing(self):
+        # A budget too small for the state space must fail the proof —
+        # never let a silently truncated enumeration discharge an
+        # obligation.
+        ok = verify_source(SWEEPING_PROOF)
+        assert ok.success
+        clipped = verify_source(SWEEPING_PROOF, max_states=3)
+        assert not clipped.success
+        assert any(
+            "state budget" in (o.error or "") for o in clipped.outcomes
+        )
+
+
+class TestPorPlumbing:
+    def test_por_outcome_matches_unreduced(self):
+        plain = verify_source(SWEEPING_PROOF)
+        reduced = verify_source(SWEEPING_PROOF, por=True)
+        assert plain.success and reduced.success
+        assert plain.por_summary is None
+        assert reduced.por_summary is not None
+        assert reduced.por_summary.startswith("POR:")
+
+    def test_por_changes_job_fingerprint(self):
+        checked = check_program(SWEEPING_PROOF)
+        with_por = ProofEngine(checked, por=True)._job_fingerprint()
+        without = ProofEngine(checked, por=False)._job_fingerprint()
+        assert with_por != without
+        assert "por=on" in with_por and "por=off" in without

@@ -1,5 +1,8 @@
 """Tests for the explicit-state explorer and invariant checking."""
 
+import pytest
+
+from repro.errors import StateBudgetExceeded
 from repro.explore.explorer import Explorer, final_logs
 from repro.lang.frontend import check_level
 from repro.machine.translator import translate_level
@@ -46,6 +49,47 @@ class TestExploration:
         machine = machine_for(COUNTER)
         result = Explorer(machine, max_states=10).explore()
         assert result.hit_state_budget
+
+    def test_state_budget_is_exact_upper_bound(self):
+        # max_states caps the number of *distinct* states admitted
+        # (the initial state counts), so a clipped exploration visits
+        # exactly the budget, never budget + fanout.
+        machine = machine_for(COUNTER)
+        for budget in (1, 2, 10, 25):
+            result = Explorer(machine, max_states=budget).explore()
+            assert result.hit_state_budget
+            assert result.states_visited == budget
+
+    def test_reachable_states_raises_on_truncation(self):
+        machine = machine_for(COUNTER)
+        states = []
+        with pytest.raises(StateBudgetExceeded) as excinfo:
+            for state in Explorer(machine, max_states=10) \
+                    .reachable_states():
+                states.append(state)
+        # The budget's worth of states is yielded before the raise.
+        assert len(states) == 10
+        assert excinfo.value.max_states == 10
+
+    def test_reachable_states_complete_without_truncation(self):
+        machine = machine_for(COUNTER)
+        states = list(Explorer(machine).reachable_states())
+        assert len(states) == Explorer(machine).explore().states_visited
+
+    def test_walk_returns_false_on_truncation(self):
+        machine = machine_for(COUNTER)
+        assert Explorer(machine, max_states=10).walk(
+            lambda state, transitions: True
+        ) is False
+        assert Explorer(machine).walk(
+            lambda state, transitions: True
+        ) is True
+
+    def test_walk_early_stop_returns_false(self):
+        machine = machine_for(COUNTER)
+        assert Explorer(machine).walk(
+            lambda state, transitions: False
+        ) is False
 
     def test_ub_reasons_collected(self):
         machine = machine_for(
@@ -96,6 +140,70 @@ class TestInvariants:
 
         result = Explorer(machine).explore({"bad": bad})
         assert result.violations
+
+
+def _replay(machine, trace):
+    state = machine.initial_state()
+    for transition in trace:
+        state = machine.next_state(state, transition)
+    return state
+
+
+class TestTraces:
+    def test_violation_trace_replays_to_state(self):
+        machine = machine_for(COUNTER)
+
+        def x_never_two(state):
+            from repro.machine.values import Location, Root
+
+            loc = Location(Root("global", "x"))
+            return state.memory.get(loc, 0) < 2
+
+        result = Explorer(machine).explore({"x_never_two": x_never_two})
+        assert result.violations
+        for violation in result.violations:
+            assert violation.trace
+            assert _replay(machine, violation.trace) == violation.state
+
+    def test_violation_traces_are_bfs_shortest(self):
+        # BFS visits states in non-decreasing depth, so the reported
+        # traces are shortest paths and appear in depth order.
+        machine = machine_for(COUNTER)
+
+        def x_never_two(state):
+            from repro.machine.values import Location, Root
+
+            loc = Location(Root("global", "x"))
+            return state.memory.get(loc, 0) < 2
+
+        result = Explorer(machine).explore({"x_never_two": x_never_two})
+        lengths = [len(v.trace) for v in result.violations]
+        assert lengths == sorted(lengths)
+
+    def test_initial_state_violation_has_empty_trace(self):
+        machine = machine_for("void main() { }")
+        result = Explorer(machine).explore(
+            {"never": lambda state: False}
+        )
+        assert result.violations
+        first = result.violations[0]
+        assert first.trace == ()
+        assert first.format_trace() == "<initial>"
+
+    def test_ub_traces_replay_to_ub(self):
+        from repro.machine.state import TERM_UB
+
+        machine = machine_for(
+            "void main() { var a: uint32 := 1; var b: uint32 := 0; "
+            "a := a / b; }"
+        )
+        result = Explorer(machine).explore()
+        assert result.ub_traces
+        assert len(result.ub_traces) == len(result.ub_reasons)
+        for trace in result.ub_traces:
+            final = _replay(machine, trace)
+            assert final.termination is not None
+            assert final.termination.kind == TERM_UB
 
 
 class TestFinalLogs:

@@ -51,6 +51,63 @@ class TestPMap:
         a = PMap().set_many({"a": 1, "b": 2})
         assert dict(a.items()) == {"a": 1, "b": 2}
 
+    def test_incremental_hash_matches_fresh_build(self):
+        # The hash accumulator is maintained incrementally across
+        # set/remove/overwrite; any derivation chain reaching the same
+        # contents must hash identically to a map built in one shot.
+        a = PMap()
+        for i in range(20):
+            a = a.set(i, i * i)
+        a = a.remove(3).remove(17).set(5, -1).set(5, -2)
+        fresh = PMap(
+            {i: i * i for i in range(20) if i not in (3, 5, 17)}
+        ).set(5, -2)
+        assert a == fresh
+        assert hash(a) == hash(fresh)
+
+    def test_set_many_hash_matches_fresh_build(self):
+        derived = PMap({"a": 1}).set_many({"b": 2, "a": 3})
+        assert hash(derived) == hash(PMap({"a": 3, "b": 2}))
+
+    def test_hash_differs_by_size(self):
+        # XOR-cancelling entries must not collide maps of different
+        # sizes: the length is mixed into the final hash.
+        a = PMap({"x": 1})
+        b = PMap({"x": 1, "y": 2})
+        assert hash(a) != hash(b)
+
+
+class TestStateHashing:
+    def _state(self, log=()):
+        loc = Location(Root("global", "x"))
+        frame = Frame("m", 1, PMap({"x": 0}))
+        thread = ThreadState(tid=1, pc="m#0", frames=(frame,))
+        return ProgramState(
+            threads=PMap({1: thread}),
+            memory=PMap({loc: 0}),
+            allocation=PMap(),
+            ghosts=PMap(),
+            log=log,
+        )
+
+    def test_equal_states_hash_equal(self):
+        a, b = self._state(), self._state()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_replace_recomputes_cached_hash(self):
+        import dataclasses
+
+        state = self._state()
+        hash(state)  # populate the cache
+        replaced = dataclasses.replace(state, log=(1,))
+        assert hash(replaced) == hash(self._state(log=(1,)))
+        assert replaced != state
+
+    def test_hash_stable_across_calls(self):
+        state = self._state()
+        assert hash(state) == hash(state)
+
 
 class TestThreadState:
     def _thread(self):

@@ -1,0 +1,264 @@
+"""Partial-order reduction: soundness and payoff.
+
+The ample-set reduction (:mod:`repro.explore.por`) must be invisible to
+every observer: final outcomes, UB reasons, assertion failures and the
+budget status are bit-identical with and without it, on every case
+study and every TSO litmus shape — while the number of intermediate
+states only ever shrinks.
+"""
+
+import pytest
+
+from repro.casestudies import ALL, load
+from repro.explore import AmpleReducer, Explorer, PorStats
+from repro.lang.frontend import check_level, check_program
+from repro.machine.translator import translate_level
+
+#: Explorer budget per study (mcslock/queue need the larger bound).
+STUDY_BUDGETS = {
+    "tsp": 200_000,
+    "barrier": 200_000,
+    "pointers": 200_000,
+    "mcslock": 400_000,
+    "queue": 400_000,
+}
+
+
+def machine_for(source: str):
+    return translate_level(check_level("level L { " + source + " }"))
+
+
+def _print_regs(*names: str) -> str:
+    parts = []
+    for i, name in enumerate(names):
+        parts.append(f"var s{i}: uint32 := 0; s{i} := {name}; "
+                     f"print_uint32(s{i});")
+    return " ".join(parts)
+
+
+#: The x86-TSO litmus shapes of tests/test_tso_litmus.py.
+LITMUS = {
+    "SB": (
+        "var x: uint32; var y: uint32; var r1: uint32; var r2: uint32; "
+        "void t1() { x := 1; r1 := y; fence(); } "
+        "void main() { var a: uint64 := 0; a := create_thread t1(); "
+        "y := 1; r2 := x; join a; fence(); "
+        + _print_regs("r1", "r2") + " }"
+    ),
+    "MP": (
+        "var data: uint32; var flag: uint32; "
+        "var rf: uint32; var rd: uint32; "
+        "void writer() { data := 42; flag := 1; } "
+        "void main() { var a: uint64 := 0; "
+        "a := create_thread writer(); "
+        "rf := flag; rd := data; join a; fence(); "
+        + _print_regs("rf", "rd") + " }"
+    ),
+    "LB": (
+        "var x: uint32; var y: uint32; "
+        "var r1: uint32; var r2: uint32; "
+        "void t1() { r1 := x; y := 1; } "
+        "void main() { var a: uint64 := 0; a := create_thread t1(); "
+        "r2 := y; x := 1; join a; fence(); "
+        + _print_regs("r1", "r2") + " }"
+    ),
+    "CoRR": (
+        "var x: uint32; var r1: uint32; var r2: uint32; "
+        "void writer() { x := 1; } "
+        "void main() { var a: uint64 := 0; "
+        "a := create_thread writer(); "
+        "r1 := x; r2 := x; join a; fence(); "
+        + _print_regs("r1", "r2") + " }"
+    ),
+    "2+2W": (
+        "var x: uint32; var r1: uint32; "
+        "void main() { x := 1; x := 2; r1 := x; fence(); "
+        + _print_regs("r1") + " }"
+    ),
+    "IRIW": (
+        "var x: uint32; var y: uint32; "
+        "var r1: uint32; var r2: uint32; "
+        "var r3: uint32; var r4: uint32; "
+        "void wx() { x ::= 1; } "
+        "void wy() { y ::= 1; } "
+        "void reader1() { r1 ::= x; r2 ::= y; } "
+        "void main() { "
+        "var a: uint64 := 0; var b: uint64 := 0; var c: uint64 := 0; "
+        "a := create_thread wx(); b := create_thread wy(); "
+        "c := create_thread reader1(); "
+        "r3 ::= y; r4 ::= x; "
+        "join a; join b; join c; "
+        + _print_regs("r1", "r2", "r3", "r4") + " }"
+    ),
+}
+
+
+def assert_equivalent(machine, max_states: int = 2_000_000):
+    """Explore with and without POR and require observational equality;
+    returns (full_result, reduced_result)."""
+    full = Explorer(machine, max_states).explore()
+    reduced = Explorer(machine, max_states, por=True).explore()
+    assert reduced.final_outcomes == full.final_outcomes
+    assert sorted(reduced.ub_reasons) == sorted(full.ub_reasons)
+    assert reduced.assert_failures == full.assert_failures
+    assert reduced.hit_state_budget == full.hit_state_budget
+    assert reduced.states_visited <= full.states_visited
+    return full, reduced
+
+
+class TestLitmusEquivalence:
+    """Every allowed weak outcome survives the reduction and no
+    forbidden outcome appears."""
+
+    @pytest.mark.parametrize("name", sorted(LITMUS))
+    def test_outcomes_identical(self, name):
+        assert_equivalent(machine_for(LITMUS[name]))
+
+    def test_sb_weak_outcome_survives(self):
+        machine = machine_for(LITMUS["SB"])
+        logs = {
+            log
+            for kind, log in Explorer(machine, por=True)
+            .explore().final_outcomes
+            if kind == "normal"
+        }
+        assert logs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestCaseStudyEquivalence:
+    @pytest.mark.parametrize("study_name", sorted(ALL))
+    def test_every_level_identical(self, study_name):
+        study = load(study_name)
+        checked = check_program(study.source, f"<{study_name}>")
+        budget = STUDY_BUDGETS[study_name]
+        for level in checked.program.levels:
+            machine = translate_level(checked.contexts[level.name])
+            assert_equivalent(machine, budget)
+
+    def test_reduction_actually_prunes(self):
+        # The acceptance floor: on the queue implementation the ample
+        # sets must strictly shrink the state space, not just tie.
+        study = load("queue")
+        checked = check_program(study.source, "<queue>")
+        machine = translate_level(checked.contexts["QueueImpl"])
+        full, reduced = assert_equivalent(machine, 400_000)
+        assert reduced.states_visited < full.states_visited
+        assert reduced.por_stats is not None
+        assert reduced.por_stats.transitions_pruned > 0
+        assert reduced.por_stats.ample_states > 0
+
+
+class TestReducerMechanics:
+    def test_por_stats_absent_without_reduction(self):
+        machine = machine_for("void main() { print_uint32(1); }")
+        assert Explorer(machine).explore().por_stats is None
+
+    def test_shared_reducer_accumulates_stats(self):
+        study = load("queue")
+        checked = check_program(study.source, "<queue>")
+        machine = translate_level(checked.contexts["QueueImpl"])
+        reducer = AmpleReducer(machine)
+        first = Explorer(machine, 400_000, por=reducer).explore()
+        second = Explorer(machine, 400_000, por=reducer).explore()
+        # Each exploration reports only its own delta even though the
+        # reducer's counters are cumulative.
+        assert first.por_stats.ample_states == \
+            second.por_stats.ample_states
+        assert reducer.stats.ample_states == \
+            first.por_stats.ample_states * 2
+
+    def test_stats_describe_and_merge(self):
+        a = PorStats(ample_states=2, full_states=3, transitions_pruned=5)
+        b = PorStats(ample_states=1, full_states=1, transitions_pruned=2)
+        a.merge(b)
+        assert a.ample_states == 3
+        assert "7 transitions pruned" in a.describe()
+
+    def test_walk_visitor_sees_full_transition_list(self):
+        # POR narrows which successors are *expanded*, never what a
+        # visitor observes at a state — the analyzer's race scan
+        # depends on seeing every enabled transition.
+        study = load("queue")
+        checked = check_program(study.source, "<queue>")
+        machine = translate_level(checked.contexts["QueueImpl"])
+        per_state_full: dict = {}
+        Explorer(machine, 400_000).walk(
+            lambda s, ts: per_state_full.setdefault(s, len(ts)) or True
+        )
+        mismatches = []
+
+        def check(state, transitions):
+            expected = per_state_full.get(state)
+            if expected is not None and expected != len(transitions):
+                mismatches.append(state)
+            return True
+
+        Explorer(machine, 400_000, por=True).walk(check)
+        assert not mismatches
+
+
+class TestIndependenceFacts:
+    def test_register_steps_are_local(self):
+        from repro.analysis.independence import step_independence
+
+        machine = machine_for(
+            "void main() { var i: uint32 := 0; "
+            "while i < 3 { i := i + 1; } print_uint32(i); }"
+        )
+        facts = step_independence(machine.ctx, machine)
+        # Pure register arithmetic and branches qualify; the print
+        # (extern) step never does.
+        assert facts.local_steps > 0
+        assert facts.local_steps < facts.total_steps
+
+    def test_multithreaded_global_not_private(self):
+        from repro.analysis.independence import step_independence
+
+        machine = machine_for(LITMUS["SB"])
+        facts = step_independence(machine.ctx, machine)
+        assert "x" not in facts.private_globals
+        assert "y" not in facts.private_globals
+
+    def test_single_context_global_is_private(self):
+        from repro.analysis.independence import step_independence
+
+        machine = machine_for(
+            "var x: uint32; var y: uint32; "
+            "void worker() { y := 1; y := 2; } "
+            "void main() { var a: uint64 := 0; "
+            "a := create_thread worker(); "
+            "x := 1; x := 2; join a; fence(); print_uint32(x); }"
+        )
+        facts = step_independence(machine.ctx, machine)
+        # x is only ever touched by main, y only by the worker: both
+        # are single-context, so buffered stores to them (and their
+        # drains) are invisible to the other thread.
+        assert "x" in facts.private_globals
+        assert "y" in facts.private_globals
+
+    def test_ghost_mentions_disqualify(self):
+        from repro.analysis.independence import step_independence
+
+        machine = machine_for(
+            "ghost var g: uint32 := 0; "
+            "void main() { var t: uint32 := 0; g := 1; t := g; }"
+        )
+        facts = step_independence(machine.ctx, machine)
+        # Both the ghost write and the ghost read are non-local.
+        from repro.lang import asts as ast
+        from repro.machine.steps import AssignStep
+
+        checked_some = False
+        for steps in machine.steps_by_pc.values():
+            for step in steps:
+                if not isinstance(step, AssignStep):
+                    continue
+                mentions_g = any(
+                    isinstance(node, ast.Var) and node.name == "g"
+                    for expr in step.reads_exprs()
+                    for node in ast.walk_expr(expr)
+                )
+                if mentions_g:
+                    checked_some = True
+                    assert not facts.is_local(step)
+        assert checked_some
