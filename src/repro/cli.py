@@ -82,6 +82,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.farm import FarmConfig, VerificationFarm
     from repro.lang.frontend import check_program
+    from repro.obs import OBS
     from repro.proofs.engine import ProofEngine
 
     source = _read_source(args.file)
@@ -98,7 +99,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         validate_refinement=args.validate, farm=farm,
         analyze=args.analyze, por=args.por,
     )
-    outcome = engine.run_all()
+    if args.trace:
+        try:
+            OBS.enable(args.trace)
+        except OSError as error:
+            print(f"armada: cannot write trace {args.trace}: {error}",
+                  file=sys.stderr)
+            return 1
+    try:
+        outcome = engine.run_all()
+    finally:
+        if args.trace:
+            OBS.disable()
+            print(f"trace written to {args.trace} "
+                  f"(inspect with: armada stats {args.trace})")
     for note in outcome.analysis_notes:
         print(note)
     if outcome.por_summary:
@@ -184,24 +198,65 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     explorer = Explorer(machine, max_states=args.max_states, por=args.por)
     result = explorer.explore(invariants=invariants or None)
 
-    print(f"level {level}: {result.states_visited} states, "
-          f"{result.transitions_taken} transitions explored")
-    if result.por_stats is not None:
-        print(result.por_stats.describe())
-    if result.hit_state_budget:
-        print(f"WARNING: state budget ({args.max_states}) exhausted — "
-              "the enumeration is incomplete; raise --max-states")
-    for kind, log in sorted(
+    outcomes = sorted(
         result.final_outcomes, key=lambda o: (o[0], tuple(map(str, o[1])))
-    ):
-        print(f"outcome: {kind}, log={list(log)}")
-    for reason, trace in zip(result.ub_reasons, result.ub_traces):
-        print(f"undefined behavior: {reason}")
-        print("  trace: "
-              + (" ; ".join(t.describe() for t in trace) or "<initial>"))
-    for violation in result.violations:
-        print(f"invariant violated: {violation.invariant_name}")
-        print(f"  trace: {violation.format_trace()}")
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "level": level,
+            "states": result.states_visited,
+            "transitions": result.transitions_taken,
+            "outcomes": [
+                {"kind": kind, "log": list(log)} for kind, log in outcomes
+            ],
+            "ub": [
+                {
+                    "reason": reason,
+                    "trace": [t.describe() for t in trace],
+                }
+                for reason, trace in zip(result.ub_reasons,
+                                         result.ub_traces)
+            ],
+            "violations": [
+                {
+                    "invariant": v.invariant_name,
+                    "trace": [t.describe() for t in v.trace],
+                }
+                for v in result.violations
+            ],
+            "hit_state_budget": result.hit_state_budget,
+            "por": (
+                None if result.por_stats is None else {
+                    "ample_states": result.por_stats.ample_states,
+                    "full_states": result.por_stats.full_states,
+                    "transitions_pruned":
+                        result.por_stats.transitions_pruned,
+                }
+            ),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"level {level}: {result.states_visited} states, "
+              f"{result.transitions_taken} transitions explored")
+        if result.por_stats is not None:
+            print(result.por_stats.describe())
+        if result.hit_state_budget:
+            print(f"WARNING: state budget ({args.max_states}) exhausted "
+                  "— the enumeration is incomplete; raise --max-states")
+        for kind, log in outcomes:
+            print(f"outcome: {kind}, log={list(log)}")
+        for reason, trace in zip(result.ub_reasons, result.ub_traces):
+            print(f"undefined behavior: {reason}")
+            print(
+                "  trace: "
+                + (" ; ".join(t.describe() for t in trace)
+                   or "<initial>")
+            )
+        for violation in result.violations:
+            print(f"invariant violated: {violation.invariant_name}")
+            print(f"  trace: {violation.format_trace()}")
     failed = (
         result.violations or result.has_ub or result.hit_state_budget
     )
@@ -336,6 +391,18 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import TraceError, aggregate_file
+
+    try:
+        stats = aggregate_file(args.trace)
+    except TraceError as error:
+        print(f"armada stats: {error}", file=sys.stderr)
+        return 1
+    print(stats.to_json() if args.json else stats.render_text())
+    return 0
+
+
 def _cmd_strategies(args: argparse.Namespace) -> int:
     from repro.strategies.registry import available_strategies
 
@@ -406,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
              "quantify over private thread state that reduction "
              "elides; the choice is part of the proof-cache key)",
     )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSONL span/metric trace of the run "
+             "(inspect with 'armada stats FILE')",
+    )
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
@@ -428,6 +500,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="boolean expression checked at every reachable state "
              "(repeatable); violations print a replayable trace",
     )
+    p.add_argument("--json", action="store_true",
+                   help="emit the exploration summary as JSON")
     p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
@@ -481,6 +555,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="tsp|barrier|pointers|mcslock|queue|all")
     p.set_defaults(func=_cmd_casestudy)
 
+    p = sub.add_parser(
+        "stats",
+        help="summarize a trace recorded by 'armada verify --trace'",
+    )
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON")
+    p.set_defaults(func=_cmd_stats)
+
     p = sub.add_parser("strategies", help="list proof strategies")
     p.set_defaults(func=_cmd_strategies)
     return parser
@@ -506,6 +589,13 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Piping into head/less closes stdout early; that is not an
+        # error.  Detach stdout so the interpreter's shutdown flush
+        # does not traceback either.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

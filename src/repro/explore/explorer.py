@@ -41,6 +41,7 @@ from repro.errors import StateBudgetExceeded
 from repro.explore.por import AmpleReducer, PorStats
 from repro.machine.program import StateMachine, Transition
 from repro.machine.state import ProgramState, TERM_UB
+from repro.obs import OBS
 
 
 @dataclass
@@ -143,6 +144,7 @@ class Explorer:
         seen: dict[ProgramState, ProgramState] = {initial: initial}
         frontier: deque[ProgramState] = deque((initial,))
         truncated = False
+        intern_hits = 0
         while frontier:
             state = frontier.popleft()
             yield state
@@ -150,12 +152,16 @@ class Explorer:
             _, successors = self._successors(state, transitions, seen)
             for nxt in successors:
                 if nxt in seen:
+                    intern_hits += 1
                     continue
                 if len(seen) >= self.max_states:
                     truncated = True
                     continue
                 seen[nxt] = nxt
                 frontier.append(nxt)
+        if OBS.enabled:
+            OBS.count("explorer.states_admitted", len(seen))
+            OBS.count("explorer.intern_hits", intern_hits)
         if truncated:
             raise StateBudgetExceeded(self.max_states)
 
@@ -193,6 +199,8 @@ class Explorer:
                     continue
                 seen[nxt] = nxt
                 frontier.append(nxt)
+        if OBS.enabled:
+            OBS.count("explorer.states_admitted", len(seen))
         return complete
 
     def explore(
@@ -203,6 +211,21 @@ class Explorer:
         """Explore exhaustively (BFS), checking *invariants* at every
         state.  Violations and UB outcomes carry shortest replayable
         traces, reconstructed from per-state parent pointers."""
+        if not OBS.enabled:
+            return self._explore(invariants, start)
+        with OBS.span("explore", "phase", level=self.machine.level_name,
+                      por=self.reducer is not None):
+            result = self._explore(invariants, start)
+            OBS.count("explorer.states_admitted", result.states_visited)
+            OBS.count("explorer.transitions_taken",
+                      result.transitions_taken)
+            return result
+
+    def _explore(
+        self,
+        invariants: dict[str, Callable[[ProgramState], bool]] | None = None,
+        start: ProgramState | None = None,
+    ) -> ExplorationResult:
         machine = self.machine
         initial = start if start is not None else machine.initial_state()
         result = ExplorationResult()
@@ -215,6 +238,7 @@ class Explorer:
             ProgramState, tuple[ProgramState, Transition] | None
         ] = {initial: None}
         frontier: deque[ProgramState] = deque((initial,))
+        intern_hits = 0
         while frontier:
             state = frontier.popleft()
             result.states_visited += 1
@@ -246,6 +270,7 @@ class Explorer:
             for tr, nxt in zip(used, successors):
                 result.transitions_taken += 1
                 if nxt in seen:
+                    intern_hits += 1
                     continue
                 if len(seen) >= self.max_states:
                     result.hit_state_budget = True
@@ -253,6 +278,8 @@ class Explorer:
                 seen[nxt] = nxt
                 parents[nxt] = (state, tr)
                 frontier.append(nxt)
+        if OBS.enabled:
+            OBS.count("explorer.intern_hits", intern_hits)
         if self.reducer is not None and stats_before is not None:
             after = self.reducer.stats
             result.por_stats = PorStats(

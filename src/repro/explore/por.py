@@ -59,6 +59,7 @@ from typing import TYPE_CHECKING, Container
 
 from repro.machine.program import StateMachine, Transition
 from repro.machine.state import ProgramState
+from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.independence import IndependenceFacts
@@ -170,6 +171,10 @@ class AmpleReducer:
             self.stats.transitions_pruned += (
                 len(transitions) - len(candidate)
             )
+            if OBS.enabled:
+                OBS.count("por.ample_states")
+                OBS.count("por.transitions_pruned",
+                          len(transitions) - len(candidate))
             return candidate, successors
 
         self.stats.full_states += 1

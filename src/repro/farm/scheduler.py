@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.farm.cache import code_version, structural_hash
+from repro.obs import OBS
 
 
 @dataclass
@@ -91,6 +92,8 @@ def lemma_jobs(
                 apply=apply,
             )
         )
+    if OBS.enabled:
+        OBS.count("farm.lemma_jobs_scheduled", len(jobs))
     return jobs
 
 
@@ -100,6 +103,8 @@ def global_check_job(
     apply: Callable[[Any], None],
 ) -> Job:
     """A whole-program bounded refinement check as a queue citizen."""
+    if OBS.enabled:
+        OBS.count("farm.global_checks_scheduled")
     return Job(
         key=structural_hash("global-check", proof_name),
         label=f"{proof_name}:WholeProgramRefinement",

@@ -39,6 +39,7 @@ from repro.farm.events import (
     EventLog,
 )
 from repro.farm.scheduler import Job
+from repro.obs import OBS
 from repro.verifier.prover import Verdict
 
 SEQUENTIAL = "sequential"
@@ -88,6 +89,21 @@ def _invoke(thunk):
     return thunk()
 
 
+def _invoke_traced(thunk, label, shard_dir):
+    """Trampoline for traced process-pool jobs: record the obligation
+    span into this worker's shard.
+
+    Forked workers inherit an enabled observer and are redirected to a
+    shard automatically; spawned workers start disabled, so the parent
+    ships the shard directory along and the worker opens its shard
+    explicitly.  Either way the parent merges shards after the round.
+    """
+    if not OBS.enabled and shard_dir is not None:
+        OBS.enable_shard(shard_dir)
+    with OBS.span(label, "obligation", cached=False):
+        return thunk()
+
+
 def _picklable(thunk) -> bool:
     try:
         pickle.dumps(thunk)
@@ -99,7 +115,15 @@ def _picklable(thunk) -> bool:
 def _run_one(job: Job, events: EventLog, tracker: _DepthTracker) -> None:
     events.emit(JOB_STARTED, job.key, job.label,
                 queue_depth=tracker.depth())
-    job.result, job.wall_seconds = _run_thunk(job)
+    if OBS.enabled:
+        queued_at = job.metadata.get("queued_at")
+        if queued_at is not None:
+            OBS.observe("farm.queue_wait_seconds",
+                        time.perf_counter() - queued_at)
+        with OBS.span(job.label, "obligation", cached=False):
+            job.result, job.wall_seconds = _run_thunk(job)
+    else:
+        job.result, job.wall_seconds = _run_thunk(job)
     job.finished = True
     depth = tracker.finish_one()
     events.emit(JOB_FINISHED, job.key, job.label,
@@ -119,9 +143,13 @@ def run_jobs(
     if events is None:
         events = EventLog()
 
+    traced = OBS.enabled
+    queued_at = time.perf_counter() if traced else 0.0
     for position, job in enumerate(jobs):
         events.emit(JOB_QUEUED, job.key, job.label,
                     queue_depth=len(jobs) - position)
+        if traced:
+            job.metadata["queued_at"] = queued_at
 
     to_run: list[Job] = []
     for job in jobs:
@@ -132,7 +160,15 @@ def run_jobs(
                 job.finished = True
                 job.from_cache = True
                 events.emit(CACHE_HIT, job.key, job.label)
+                if traced:
+                    OBS.count("farm.cache_hits")
+                    # A zero-duration span so traces cover *every*
+                    # obligation, discharged-from-cache ones included.
+                    with OBS.span(job.label, "obligation", cached=True):
+                        pass
                 continue
+            if traced:
+                OBS.count("farm.cache_misses")
         to_run.append(job)
 
     tracker = _DepthTracker(len(to_run))
@@ -179,13 +215,20 @@ def _run_process_mode(
     """
     poolable = [job for job in to_run if _picklable(job.thunk)]
     inline = [job for job in to_run if not _picklable(job.thunk)]
+    traced = OBS.enabled
+    shard_dir = OBS.shard_dir() if traced else None
     futures = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         for job in poolable:
             events.emit(JOB_STARTED, job.key, job.label,
                         queue_depth=tracker.depth())
-            futures[id(job)] = (job, pool.submit(_invoke, job.thunk),
-                                time.perf_counter())
+            if traced:
+                future = pool.submit(
+                    _invoke_traced, job.thunk, job.label, shard_dir
+                )
+            else:
+                future = pool.submit(_invoke, job.thunk)
+            futures[id(job)] = (job, future, time.perf_counter())
         for job in inline:
             events.emit(POOL_FALLBACK, job.key, job.label,
                         queue_depth=tracker.depth())
@@ -203,3 +246,7 @@ def _run_process_mode(
             depth = tracker.finish_one()
             events.emit(JOB_FINISHED, job.key, job.label,
                         wall_seconds=job.wall_seconds, queue_depth=depth)
+    if traced:
+        # The scheduler side merges worker shards back into the main
+        # trace once the pool has drained (process-safe by design).
+        OBS.merge_shards()

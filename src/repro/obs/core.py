@@ -1,0 +1,375 @@
+"""The observer: hierarchical spans, counters, and histograms.
+
+One module-level :data:`OBS` instance serves the whole process.  It is
+**disabled by default**, and every instrumentation site in the hot
+paths guards itself with a single attribute read::
+
+    if OBS.enabled:
+        OBS.count("explorer.states_admitted", admitted)
+
+so the disabled-mode cost is one boolean test per *batched* event (hot
+loops accumulate locally and emit once — see
+``benchmarks/bench_obs_overhead.py`` for the measured bound).
+
+Spans
+-----
+A span is one timed region of the verification pipeline.  Spans nest
+via per-thread stacks, producing the hierarchy::
+
+    chain  >  proof (level pair)  >  strategy
+    obligation  >  phase (prover / explore)
+
+Obligation spans are created by the farm workers, possibly on worker
+threads or in worker processes, so they are parented to whatever span
+is active *on that thread* (none, for pool threads) — consumers group
+by ``kind``, not by reconstructing one global tree.
+
+Counters and histograms attach to the innermost active span of the
+emitting thread (falling back to a process-global accumulator emitted
+at :meth:`Observer.disable`), which is what lets ``armada stats``
+attribute prover assignments or explorer states to the obligation that
+caused them.
+
+Trace format (JSONL, one object per line)
+-----------------------------------------
+* ``{"type": "meta", "format": "armada-trace/1"}`` — first line.
+* ``{"type": "span", "id": int, "parent": int|null, "kind": str,
+  "name": str, "seconds": float, "attrs": {...}, "counters": {...},
+  "histograms": {name: {"count", "sum", "min", "max"}}}`` — emitted
+  when the span closes.
+* ``{"type": "counters", "counters": {...}, "histograms": {...}}`` —
+  the process-global accumulators, emitted by :meth:`disable`.
+
+Every line is flushed as written, so a trace is readable mid-run and a
+forked worker process never inherits buffered partial lines.
+
+Process safety
+--------------
+Farm worker processes do not write to the parent's file: any emission
+from a process other than the one that called :meth:`enable` is
+transparently redirected to a per-worker shard
+(``<trace>.shards/shard-<pid>.jsonl``); the scheduler merges shards
+back into the main trace (re-keying span ids) after each process-pool
+round via :meth:`merge_shards`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any
+
+TRACE_FORMAT = "armada-trace/1"
+
+#: Span kinds, outermost to innermost (documentation, not enforcement).
+KIND_CHAIN = "chain"
+KIND_PROOF = "proof"
+KIND_STRATEGY = "strategy"
+KIND_OBLIGATION = "obligation"
+KIND_PHASE = "phase"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; emitted as a single JSONL record on exit."""
+
+    __slots__ = ("_obs", "id", "parent", "name", "kind", "attrs",
+                 "counters", "histograms", "_started")
+
+    def __init__(self, obs: "Observer", name: str, kind: str,
+                 attrs: dict) -> None:
+        self._obs = obs
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs
+        self.counters: dict[str, int | float] = {}
+        #: name -> [count, sum, min, max]
+        self.histograms: dict[str, list] = {}
+        self.id = -1
+        self.parent: int | None = None
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        obs = self._obs
+        stack = obs._stack()
+        self.parent = stack[-1].id if stack else None
+        with obs._lock:
+            obs._next_id += 1
+            self.id = obs._next_id
+        stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        elapsed = time.perf_counter() - self._started
+        stack = self._obs._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # unwound out of order (exception path)
+            stack.remove(self)
+        self._obs._emit({
+            "type": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "kind": self.kind,
+            "name": self.name,
+            "seconds": round(elapsed, 6),
+            "attrs": self.attrs,
+            "counters": self.counters,
+            "histograms": {
+                name: _histogram_summary(cells)
+                for name, cells in self.histograms.items()
+            },
+        })
+
+
+def _histogram_summary(cells: list) -> dict:
+    count, total, lo, hi = cells
+    return {
+        "count": count,
+        "sum": round(total, 6),
+        "min": round(lo, 6),
+        "max": round(hi, 6),
+    }
+
+
+def _observe_into(histograms: dict[str, list], name: str,
+                  value: float) -> None:
+    cells = histograms.get(name)
+    if cells is None:
+        histograms[name] = [1, value, value, value]
+        return
+    cells[0] += 1
+    cells[1] += value
+    if value < cells[2]:
+        cells[2] = value
+    if value > cells[3]:
+        cells[3] = value
+
+
+class Observer:
+    """Process-wide tracing/metrics sink (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._path: str | None = None
+        self._file = None
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._tls = threading.local()
+        self._pid = os.getpid()
+        self._is_shard = False
+        self._global_counters: dict[str, int | float] = {}
+        self._global_histograms: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def enable(self, path: str | os.PathLike) -> None:
+        """Start tracing to *path* (truncates any existing file)."""
+        if self.enabled:
+            raise RuntimeError("observer is already enabled")
+        self._path = os.fspath(path)
+        self._file = open(self._path, "w", encoding="utf-8")
+        self._pid = os.getpid()
+        self._is_shard = False
+        self._next_id = 0
+        self._global_counters = {}
+        self._global_histograms = {}
+        self._tls = threading.local()
+        self.enabled = True
+        self._emit({"type": "meta", "format": TRACE_FORMAT})
+
+    def disable(self) -> None:
+        """Flush global accumulators, merge leftover shards, close."""
+        if not self.enabled:
+            return
+        if not self._is_shard:
+            self.merge_shards()
+            self._emit({
+                "type": "counters",
+                "counters": dict(self._global_counters),
+                "histograms": {
+                    name: _histogram_summary(cells)
+                    for name, cells in self._global_histograms.items()
+                },
+            })
+        self.enabled = False
+        handle, self._file = self._file, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._path = None
+
+    def enable_shard(self, shard_dir: str) -> None:
+        """Trace into a per-process shard (worker-process entry point).
+
+        Used by spawned worker processes, which do not inherit the
+        parent observer; forked workers are redirected automatically by
+        :meth:`_emit`.
+        """
+        os.makedirs(shard_dir, exist_ok=True)
+        self._path = os.path.join(
+            shard_dir, f"shard-{os.getpid()}.jsonl"
+        )
+        self._file = open(self._path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+        self._is_shard = True
+        self._tls = threading.local()
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def span(self, name: str, kind: str = KIND_PHASE,
+             **attrs: Any) -> "_Span | _NullSpan":
+        """A context manager timing one region; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, kind, attrs)
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Add *n* to a counter on the innermost span (or globally)."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if stack:
+            counters = stack[-1].counters
+            counters[name] = counters.get(name, 0) + n
+        else:
+            with self._lock:
+                self._global_counters[name] = (
+                    self._global_counters.get(name, 0) + n
+                )
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation (count/sum/min/max)."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if stack:
+            _observe_into(stack[-1].histograms, name, value)
+        else:
+            with self._lock:
+                _observe_into(self._global_histograms, name, value)
+
+    # ------------------------------------------------------------------
+    # process shards
+
+    def shard_dir(self) -> str | None:
+        """Where worker processes of this trace park their shards."""
+        if self._path is None:
+            return None
+        base = self._path
+        if self._is_shard:
+            base = os.path.dirname(base) or "."
+            return base
+        return base + ".shards"
+
+    def merge_shards(self) -> int:
+        """Fold worker shard files into the main trace.
+
+        Span ids are re-keyed into the parent's id space (parents that
+        point outside a shard are dropped to ``null``); shard files are
+        deleted after merging.  Returns the number of merged records.
+        """
+        if not self.enabled or self._is_shard:
+            return 0
+        directory = self.shard_dir()
+        if directory is None or not os.path.isdir(directory):
+            return 0
+        merged = 0
+        for name in sorted(os.listdir(directory)):
+            path = os.path.join(directory, name)
+            remap: dict[int, int] = {}
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except ValueError:
+                            continue
+                        if record.get("type") == "span":
+                            old = record.get("id")
+                            with self._lock:
+                                self._next_id += 1
+                                new = self._next_id
+                            if isinstance(old, int):
+                                remap[old] = new
+                            record["id"] = new
+                            record["parent"] = remap.get(
+                                record.get("parent")
+                            )
+                        self._emit(record)
+                        merged += 1
+            except OSError:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        try:
+            os.rmdir(directory)
+        except OSError:
+            pass
+        return merged
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _become_shard(self) -> None:
+        """A forked worker inherited the parent's observer: redirect
+        every subsequent write to this process's own shard file."""
+        shard_dir = self.shard_dir()
+        # Drop the inherited handle without closing it: every line was
+        # flushed when written, and the parent still owns the file.
+        self._file = None
+        if shard_dir is None:
+            self.enabled = False
+            return
+        self.enable_shard(shard_dir)
+
+    def _emit(self, record: dict) -> None:
+        if os.getpid() != self._pid:
+            self._become_shard()
+            if not self.enabled:
+                return
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            handle = self._file
+            if handle is None:
+                return
+            handle.write(line + "\n")
+            handle.flush()
+
+
+#: The process-wide observer every instrumentation site talks to.
+OBS = Observer()

@@ -28,6 +28,7 @@ from repro.lang import asts as ast
 from repro.lang.frontend import CheckedProgram, check_program
 from repro.machine.program import DomainConfig, StateMachine
 from repro.machine.translator import translate_level
+from repro.obs import OBS
 from repro.proofs.artifacts import Lemma, ProofScript, bool_verdict
 from repro.strategies.base import ProofRequest
 from repro.strategies.registry import lookup
@@ -238,6 +239,12 @@ class ProofEngine:
 
     def _prepare(self, proof: ast.ProofDecl) -> _PreparedProof:
         """Generate the proof script (no obligation is checked yet)."""
+        with OBS.span(proof.name, "proof", low=proof.low_level,
+                      high=proof.high_level,
+                      strategy=proof.strategy.name):
+            return self._prepare_inner(proof)
+
+    def _prepare_inner(self, proof: ast.ProofDecl) -> _PreparedProof:
         started = time.perf_counter()
         prep = _PreparedProof(proof)
         try:
@@ -264,9 +271,13 @@ class ProofEngine:
                 self._analysis_notes.extend(
                     self._recipe_advisories(proof, request.analysis)
                 )
-            script = strategy.generate(request)
+            with OBS.span(proof.strategy.name, "strategy",
+                          proof=proof.name):
+                script = strategy.generate(request)
             self._apply_directives(proof, request, script)
             prep.script = script
+            if OBS.enabled:
+                OBS.count("engine.lemmas_generated", len(script.lemmas))
         except StrategyError as error:
             prep.outcome = ProofOutcome(
                 proof.name, proof.strategy.name, False, None,
@@ -490,15 +501,20 @@ class ProofEngine:
         proofs are collected into one farm batch, so a multi-worker
         farm parallelises across the entire chain.
         """
-        preps = [
-            self._prepare(proof)
-            for proof in self.checked.program.proofs
-        ]
-        batch: list[Job] = []
-        for prep in preps:
-            if prep.outcome is None:
-                batch.extend(self._schedule(prep))
-        self.farm.discharge(batch)
+        levels = self.checked.program.levels
+        chain_name = levels[0].name if levels else "chain"
+        with OBS.span(chain_name, "chain",
+                      levels=len(levels),
+                      proofs=len(self.checked.program.proofs)):
+            preps = [
+                self._prepare(proof)
+                for proof in self.checked.program.proofs
+            ]
+            batch: list[Job] = []
+            for prep in preps:
+                if prep.outcome is None:
+                    batch.extend(self._schedule(prep))
+            self.farm.discharge(batch)
         chain_outcome = ChainOutcome(
             analysis_notes=list(self._analysis_notes),
             por_summary=self._por_summary(),

@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.lang import asts as ast
 from repro.lang import types as ty
+from repro.obs import OBS
 from repro.verifier.interp import UNDEF, interpret, is_undef
 
 PROVED = "proved"
@@ -143,6 +144,24 @@ class Prover:
         obligation must be well-defined wherever its hypotheses hold),
         matching Dafny's well-definedness checking.
         """
+        if not OBS.enabled:
+            return self._prove_valid(goal, variables, assumptions,
+                                     extra_env)
+        with OBS.span("prove_valid", "phase"):
+            verdict = self._prove_valid(goal, variables, assumptions,
+                                        extra_env)
+            OBS.count("prover.calls")
+            OBS.count("prover.assignments_checked",
+                      verdict.assignments_checked)
+            return verdict
+
+    def _prove_valid(
+        self,
+        goal: ast.Expr,
+        variables: dict[str, ty.Type],
+        assumptions: list[ast.Expr] | None = None,
+        extra_env: dict[str, Any] | None = None,
+    ) -> Verdict:
         assumptions = assumptions or []
         names = sorted(variables)
         domains = [
@@ -183,6 +202,21 @@ class Prover:
     ) -> Verdict:
         """Check that two expressions agree on all sampled assignments
         (including agreement on where they are undefined)."""
+        if not OBS.enabled:
+            return self._equivalent(left, right, variables)
+        with OBS.span("equivalent", "phase"):
+            verdict = self._equivalent(left, right, variables)
+            OBS.count("prover.calls")
+            OBS.count("prover.assignments_checked",
+                      verdict.assignments_checked)
+            return verdict
+
+    def _equivalent(
+        self,
+        left: ast.Expr,
+        right: ast.Expr,
+        variables: dict[str, ty.Type],
+    ) -> Verdict:
         names = sorted(variables)
         domains = [
             variable_domain(n, variables[n], self.config) for n in names
@@ -206,18 +240,26 @@ class Prover:
         trimming each domain proportionally (corners are kept first)."""
         budget = self.config.max_assignments
         shrunk = [list(d) for d in domains]
-        while True:
-            total = 1
-            for d in shrunk:
-                total *= max(1, len(d))
-            if total <= budget:
-                return shrunk
-            largest = max(range(len(shrunk)), key=lambda i: len(shrunk[i]))
-            if len(shrunk[largest]) <= 2:
-                return shrunk
-            shrunk[largest] = shrunk[largest][
-                : max(2, len(shrunk[largest]) // 2)
-            ]
+        passes = 0
+        try:
+            while True:
+                total = 1
+                for d in shrunk:
+                    total *= max(1, len(d))
+                if total <= budget:
+                    return shrunk
+                largest = max(
+                    range(len(shrunk)), key=lambda i: len(shrunk[i])
+                )
+                if len(shrunk[largest]) <= 2:
+                    return shrunk
+                passes += 1
+                shrunk[largest] = shrunk[largest][
+                    : max(2, len(shrunk[largest]) // 2)
+                ]
+        finally:
+            if passes and OBS.enabled:
+                OBS.count("prover.domain_shrink_passes", passes)
 
 
 #: Module-level default prover shared by strategies.

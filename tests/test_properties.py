@@ -69,6 +69,77 @@ class TestPMapProperties:
         pm.set(key, value)
         assert dict(pm.items()) == base
 
+    # ---- the incremental XOR hash accumulator --------------------------
+    #
+    # PMap.set/set_many/remove derive the child's hash accumulator from
+    # the parent's in O(1) *only once the parent's accumulator has been
+    # materialised* (first __hash__ call).  These properties drive
+    # random operation sequences down the incremental path and require
+    # the result to agree, at every step, with a from-scratch rehash of
+    # the same entries — the explorer's seen-set correctness rests on
+    # exactly this equivalence.
+
+    ops = st.lists(
+        st.one_of(
+            st.tuples(st.just("set"), keys, st.integers(0, 9)),
+            st.tuples(st.just("remove"), keys, st.just(0)),
+            st.tuples(st.just("set_many"),
+                      st.dictionaries(keys, st.integers(0, 9),
+                                      max_size=3),
+                      st.just(0)),
+        ),
+        max_size=12,
+    )
+
+    @given(st.dictionaries(keys, st.integers(0, 9), max_size=6), ops)
+    def test_incremental_hash_matches_rehash(self, base, operations):
+        pm = PMap(base)
+        hash(pm)  # materialise the accumulator: all updates below are
+        model = dict(base)  # derived incrementally, never recomputed
+        for op, arg, value in operations:
+            if op == "set":
+                pm = pm.set(arg, value)
+                model[arg] = value
+            elif op == "remove":
+                pm = pm.remove(arg)
+                model.pop(arg, None)
+            else:
+                pm = pm.set_many(arg)
+                model.update(arg)
+            fresh = PMap(model)  # accumulator computed from scratch
+            assert pm == fresh
+            assert hash(pm) == hash(fresh)
+
+    @given(st.dictionaries(keys, st.integers(0, 9), min_size=1,
+                           max_size=6),
+           st.randoms(use_true_random=False))
+    def test_incremental_hash_is_insertion_order_independent(
+            self, entries, rng):
+        items = list(entries.items())
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        a = PMap()
+        hash(a)
+        for key, value in items:
+            a = a.set(key, value)
+        b = PMap()
+        hash(b)
+        for key, value in shuffled:
+            b = b.set(key, value)
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.dictionaries(keys, st.integers(0, 9), max_size=6),
+           keys, st.integers(0, 9))
+    def test_set_then_remove_restores_hash(self, base, key, value):
+        # XOR is its own inverse: adding and removing an entry must
+        # return to the parent's exact hash, incrementally.
+        pm = PMap(base)
+        hash(pm)
+        without = pm.remove(key)
+        roundtrip = without.set(key, value).remove(key)
+        assert roundtrip == without
+        assert hash(roundtrip) == hash(without)
+
 
 class TestGhostMapProperties:
     @given(st.lists(st.tuples(st.integers(), st.integers()), max_size=10))
