@@ -80,17 +80,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.errors import FaultPlanError
     from repro.farm import FarmConfig, VerificationFarm
+    from repro.faults import load_fault_plan
     from repro.lang.frontend import check_program
     from repro.obs import OBS
     from repro.proofs.engine import ProofEngine
 
     source = _read_source(args.file)
+    faults = None
+    if args.inject_faults:
+        try:
+            faults = load_fault_plan(args.inject_faults)
+        except FaultPlanError as error:
+            print(f"armada: {error}", file=sys.stderr)
+            return 1
     farm = VerificationFarm(
         FarmConfig(
             jobs=args.jobs,
             mode=args.farm_mode,
             cache_dir=None if args.no_cache else args.cache,
+            obligation_timeout=args.obligation_timeout,
+            chain_deadline=args.chain_deadline,
+            max_retries=args.max_retries,
+            faults=faults,
+            journal_path=args.journal,
         )
     )
     checked = check_program(source, args.file)
@@ -109,6 +123,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     try:
         outcome = engine.run_all()
     finally:
+        farm.close()
         if args.trace:
             OBS.disable()
             print(f"trace written to {args.trace} "
@@ -118,7 +133,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if outcome.por_summary:
         print(outcome.por_summary)
     for result in outcome.outcomes:
-        status = "verified" if result.success else "FAILED"
+        if result.success:
+            status = "verified"
+        elif result.inconclusive:
+            # Timeouts / abandoned obligations: nothing was refuted,
+            # so this must not read as "the program is wrong".
+            status = "INCONCLUSIVE"
+        else:
+            status = "FAILED"
         print(
             f"{result.proof_name} [{result.strategy}]: {status} "
             f"({result.lemma_count} lemmas, "
@@ -131,6 +153,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("refinement chain:", " -> ".join(outcome.chain))
     elif outcome.chain_error:
         print(f"chain error: {outcome.chain_error}")
+    if outcome.inconclusive:
+        print(
+            "chain INCONCLUSIVE: obligations timed out or were "
+            "abandoned; re-run with a larger deadline/retry budget"
+        )
     print(farm.summary_line())
     if args.farm_report:
         for line in farm.report_lines():
@@ -477,6 +504,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="FILE",
         help="record a JSONL span/metric trace of the run "
              "(inspect with 'armada stats FILE')",
+    )
+    p.add_argument(
+        "--obligation-timeout", type=float, default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per obligation; expiry yields a "
+             "TIMEOUT verdict (inconclusive, not refuted)",
+    )
+    p.add_argument(
+        "--chain-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole chain; on expiry the "
+             "remaining obligations go TIMEOUT instead of hanging",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-runs of a transiently failed obligation (worker "
+             "death, injected fault) before it is abandoned as "
+             "UNKNOWN (default: %(default)s)",
+    )
+    p.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append settled verdicts to FILE as they land; re-running "
+             "with the same journal resumes an interrupted run",
+    )
+    p.add_argument(
+        "--inject-faults", default=None, metavar="PLAN.json",
+        help="deterministic chaos: a JSON fault plan (crash_worker, "
+             "delay, raise, timeout, corrupt_cache_entry) addressed "
+             "by obligation index/label/attempt — testing only",
     )
     p.set_defaults(func=_cmd_verify)
 

@@ -95,6 +95,44 @@ class StateBudgetExceeded(ArmadaError):
         )
 
 
+class FaultPlanError(ArmadaError):
+    """Raised when a ``--inject-faults`` plan file cannot be parsed or
+    names an unknown fault action/phase."""
+
+
+class TransientFault(Exception):
+    """An infrastructure failure of the verification farm — a dead
+    worker, an injected chaos fault — as opposed to a proof-level
+    refutation.
+
+    Deliberately *not* an :class:`ArmadaError`: the workers turn
+    ``ArmadaError`` into a refuted verdict, but a transient fault says
+    nothing about the obligation's validity, so it is retried (with
+    backoff) and, once retries are exhausted, surfaces as an
+    *inconclusive* UNKNOWN verdict rather than a refutation."""
+
+
+class WorkerCrash(TransientFault):
+    """A farm worker died mid-obligation (real ``kill -9`` of a
+    process-pool worker, or the simulated equivalent in thread and
+    sequential modes).  The in-flight obligation is requeued."""
+
+
+class ObligationTimeout(Exception):
+    """An obligation exceeded its wall-clock deadline.  Not retried —
+    a deterministic obligation that timed out once will time out again
+    — and not an :class:`ArmadaError`: it becomes a TIMEOUT verdict,
+    which the engine reports as inconclusive, never as refuted."""
+
+    def __init__(self, seconds: float, reason: str = "deadline") -> None:
+        self.seconds = seconds
+        self.reason = reason
+        super().__init__(
+            f"obligation exceeded its {seconds:g}s wall-clock "
+            f"{reason}"
+        )
+
+
 class CompileError(ArmadaError):
     """Raised by the compiler back ends."""
 

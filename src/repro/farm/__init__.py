@@ -1,4 +1,5 @@
-"""``repro.farm`` — a parallel, cached verification orchestrator.
+"""``repro.farm`` — a parallel, cached, *fault-tolerant* verification
+orchestrator.
 
 Armada's workflow (Figure 1 of the paper) generates thousands of lemmas
 per refinement recipe and hands them to Dafny/Z3, which discharge
@@ -9,19 +10,25 @@ loop inside the proof engine.
 
 Layers (bottom-up):
 
-* :mod:`repro.farm.cache` — content-addressed on-disk verdict store;
-  re-verifying an unchanged program discharges lemmas by file read.
+* :mod:`repro.farm.cache` — content-addressed on-disk verdict store
+  with framed, checksummed, self-healing entries; re-verifying an
+  unchanged program discharges lemmas by file read.
 * :mod:`repro.farm.scheduler` — turns lemma obligations and
   whole-program refinement checks into :class:`~repro.farm.scheduler.Job`
   records with stable keys.
+* :mod:`repro.farm.resilience` — deadline, retry, and fault-injection
+  policy (see :mod:`repro.faults`).
+* :mod:`repro.farm.journal` — append-only settled-verdict log for
+  crash-safe resume (``armada verify --journal``).
 * :mod:`repro.farm.workers` — runs the queue sequentially, on a thread
   pool, or on a process pool (with inline fallback for non-picklable
-  obligations), and applies verdicts back in deterministic order.
+  obligations, crash detection, and pool respawn), and applies verdicts
+  back in deterministic order.
 * :mod:`repro.farm.events` — structured event stream + summary report.
 
 :class:`VerificationFarm` is the facade the proof engine and the CLI
-use; a default-constructed farm (one worker, no cache) behaves exactly
-like the historical sequential checker.
+use; a default-constructed farm (one worker, no cache, no deadlines)
+behaves exactly like the historical sequential checker.
 """
 
 from __future__ import annotations
@@ -36,14 +43,28 @@ from repro.farm.cache import (  # noqa: F401
 )
 from repro.farm.events import (  # noqa: F401
     CACHE_HIT,
+    CACHE_QUARANTINE,
     CACHE_STORE,
+    DEADLINE_EXPIRED,
+    FAULT_INJECTED,
+    JOB_ABANDONED,
     JOB_FINISHED,
     JOB_QUEUED,
+    JOB_RETRY,
     JOB_STARTED,
+    JOB_TIMEOUT,
+    JOURNAL_HIT,
     POOL_FALLBACK,
+    WORKER_CRASH,
+    WORKER_RESPAWN,
     EventLog,
     FarmEvent,
     FarmSummary,
+)
+from repro.farm.journal import Journal  # noqa: F401
+from repro.farm.resilience import (  # noqa: F401
+    DEFAULT_MAX_RETRIES,
+    ResilienceConfig,
 )
 from repro.farm.scheduler import (  # noqa: F401
     Job,
@@ -58,11 +79,12 @@ from repro.farm.workers import (  # noqa: F401
     THREAD,
     run_jobs,
 )
+from repro.faults import FaultPlan  # noqa: F401
 
 
 @dataclass
 class FarmConfig:
-    """How a :class:`VerificationFarm` schedules and caches work."""
+    """How a :class:`VerificationFarm` schedules, caches, and survives."""
 
     #: Worker count; 1 means sequential discharge.
     jobs: int = 1
@@ -71,6 +93,18 @@ class FarmConfig:
     mode: str = "auto"
     #: Proof-cache directory; None disables caching.
     cache_dir: str | Path | None = None
+    #: Per-obligation wall-clock deadline (seconds); None = unbounded.
+    obligation_timeout: float | None = None
+    #: Whole-chain wall-clock budget (seconds); None = unbounded.
+    chain_deadline: float | None = None
+    #: Retry budget for transient failures before UNKNOWN.
+    max_retries: int = DEFAULT_MAX_RETRIES
+    #: Backoff floor between retries (seconds); tests shrink this.
+    retry_base_delay: float = 0.05
+    #: Deterministic fault-injection plan (disabled when None).
+    faults: FaultPlan | None = None
+    #: Resume-journal path; None disables journaling.
+    journal_path: str | Path | None = None
 
     def resolved_mode(self) -> str:
         if self.mode != "auto":
@@ -82,9 +116,9 @@ class VerificationFarm:
     """Facade: one farm per verification run.
 
     The engine hands it job batches via :meth:`discharge`; the farm
-    routes them through the cache and the worker pool and accumulates
-    the event stream across batches so one summary covers the whole
-    chain.
+    routes them through the cache, the journal, and the worker pool
+    under one resilience policy, and accumulates the event stream
+    across batches so one summary covers the whole chain.
     """
 
     def __init__(self, config: FarmConfig | None = None) -> None:
@@ -95,20 +129,46 @@ class VerificationFarm:
             )
         self.events = EventLog()
         self.cache: ProofCache | None = (
-            ProofCache(self.config.cache_dir)
+            ProofCache(
+                self.config.cache_dir,
+                on_quarantine=self._on_quarantine,
+            )
             if self.config.cache_dir is not None
             else None
         )
+        self.journal: Journal | None = (
+            Journal(self.config.journal_path)
+            if self.config.journal_path is not None
+            else None
+        )
+        self.resilience = ResilienceConfig(
+            obligation_timeout=self.config.obligation_timeout,
+            chain_deadline=self.config.chain_deadline,
+            max_retries=self.config.max_retries,
+            retry_base_delay=self.config.retry_base_delay,
+            faults=self.config.faults,
+        )
+
+    def _on_quarantine(self, key: str, reason: str) -> None:
+        self.events.emit(CACHE_QUARANTINE, key, "", detail=reason)
 
     def discharge(self, jobs: list[Job]) -> list[Job]:
-        """Run one batch of jobs to completion."""
+        """Run one batch of jobs to completion.  The chain deadline is
+        armed at the first discharge and shared by every later batch."""
         return run_jobs(
             jobs,
             mode=self.config.resolved_mode(),
             max_workers=self.config.jobs,
             cache=self.cache,
             events=self.events,
+            resilience=self.resilience,
+            journal=self.journal,
         )
+
+    def close(self) -> None:
+        """Flush and release the journal (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
 
@@ -126,11 +186,20 @@ class VerificationFarm:
 
     def report_lines(self) -> list[str]:
         lines = [f"verification farm [{self.describe()}]"]
+        lines.append(f"policy: {self.resilience.describe()}")
         lines.extend(self.summary().report_lines())
         if self.cache is not None:
             lines.append(
                 f"cache: {self.cache.directory} "
                 f"({self.cache.hits} hits, {self.cache.misses} misses, "
-                f"{self.cache.stores} stores)"
+                f"{self.cache.stores} stores, "
+                f"{self.cache.quarantined} quarantined)"
+            )
+        if self.journal is not None:
+            lines.append(
+                f"journal: {self.journal.path} "
+                f"({len(self.journal)} entries, "
+                f"{self.journal.replayed} replayed, "
+                f"{self.journal.corrupt_lines} corrupt lines skipped)"
             )
         return lines

@@ -16,11 +16,22 @@ level, a recipe, a lemma customization, the prover budget, or the
 toolchain itself changes the key and forces a re-check, while an
 untouched lemma is discharged by a single file read.
 
+Entry framing and self-healing
+------------------------------
 Verdicts are stored one-per-file under ``<dir>/<k[:2]>/<k[2:]>.verdict``
 (sharded by the leading key byte so no directory grows unboundedly),
 written atomically via ``os.replace`` so concurrent workers and even
 concurrent ``armada`` processes can share a cache directory safely.
-Corrupt or unreadable entries are treated as misses and dropped.
+
+Every entry is *framed*: a magic/format header, the payload length, and
+a SHA-256 payload checksum precede the pickled verdict.  A read first
+validates the frame, so a truncated, garbage, or partially-written
+entry — the expected failure modes of a crashed worker or a full disk —
+is **detected before unpickling**, moved into ``<dir>/quarantine/`` for
+post-mortem inspection, counted, and treated as a miss: the obligation
+is simply recomputed and re-stored.  Nothing in the farm ever
+tracebacks on a bad cache file, and a quarantined entry can never
+shadow a future store under the same key.
 """
 
 from __future__ import annotations
@@ -28,14 +39,22 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import struct
 import threading
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
-from repro.verifier.prover import Verdict
+from repro.verifier.prover import SETTLED, Verdict
 
 #: Bump to invalidate every existing cache entry on a format change.
-CACHE_FORMAT = 1
+#: Format 2 introduced length+checksum framing (unframed format-1
+#: entries fail the magic check and are quarantined on first read).
+CACHE_FORMAT = 2
+
+#: Entry frame: magic+version, 8-byte payload length, 32-byte SHA-256.
+_MAGIC = b"ARMV\x02\n"
+_LEN = struct.Struct(">Q")
+_HEADER_SIZE = len(_MAGIC) + _LEN.size + hashlib.sha256().digest_size
 
 
 def _encode(value: Any, out: list[bytes]) -> None:
@@ -92,25 +111,90 @@ def code_version() -> str:
         return _code_version
 
 
+def frame_entry(payload: bytes) -> bytes:
+    """Wrap a pickled verdict in the length+checksum frame."""
+    return (
+        _MAGIC
+        + _LEN.pack(len(payload))
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def unframe_entry(raw: bytes) -> bytes | None:
+    """Validate a frame, returning the payload or None if the entry is
+    truncated, garbage, or partially written."""
+    if len(raw) < _HEADER_SIZE or not raw.startswith(_MAGIC):
+        return None
+    offset = len(_MAGIC)
+    (length,) = _LEN.unpack_from(raw, offset)
+    offset += _LEN.size
+    checksum = raw[offset:offset + hashlib.sha256().digest_size]
+    payload = raw[_HEADER_SIZE:]
+    if len(payload) != length:
+        return None
+    if hashlib.sha256(payload).digest() != checksum:
+        return None
+    return payload
+
+
 class ProofCache:
     """Content-addressed verdict store rooted at one directory."""
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        on_quarantine: Callable[[str, str], None] | None = None,
+    ) -> None:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Corrupt entries detected, moved aside, and recomputed.
+        self.quarantined = 0
+        #: Called as ``on_quarantine(key, reason)`` for each bad entry.
+        self.on_quarantine = on_quarantine
         self._lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key[2:]}.verdict"
 
+    def entry_path(self, key: str) -> Path:
+        """Where *key*'s entry lives on disk (fault injection and
+        tests corrupt entries through this)."""
+        return self._path(key)
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a bad entry aside so it can neither shadow a future
+        store nor traceback a future read, keeping it inspectable."""
+        target_dir = self.directory / "quarantine"
+        target = target_dir / path.name
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self.quarantined += 1
+        if self.on_quarantine is not None:
+            self.on_quarantine(key, reason)
+
     def get(self, key: str) -> Verdict | None:
-        """Look up a verdict; any failure to read or decode is a miss."""
+        """Look up a verdict; any failure to read, unframe, or decode
+        quarantines the entry and reports a miss (recompute path)."""
         path = self._path(key)
         try:
-            payload = path.read_bytes()
+            raw = path.read_bytes()
         except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        payload = unframe_entry(raw)
+        if payload is None:
+            self._quarantine(key, path, "bad frame (truncated/garbage)")
             with self._lock:
                 self.misses += 1
             return None
@@ -119,12 +203,9 @@ class ProofCache:
         except Exception:
             verdict = None
         if not isinstance(verdict, Verdict):
-            # Corrupt or foreign entry: drop it so it cannot shadow a
-            # future store under the same key.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # The frame checked out but the payload is foreign — a
+            # format drift the version bump should have caught.
+            self._quarantine(key, path, "framed payload is not a Verdict")
             with self._lock:
                 self.misses += 1
             return None
@@ -133,8 +214,11 @@ class ProofCache:
         return verdict
 
     def put(self, key: str, verdict: Verdict) -> bool:
-        """Store a verdict atomically; returns False if the verdict is
-        not serializable (the job simply stays uncached)."""
+        """Store a settled verdict atomically; returns False if the
+        verdict is inconclusive (TIMEOUT/UNKNOWN must never be pinned
+        by a cache) or not serializable (the job stays uncached)."""
+        if verdict.status not in SETTLED:
+            return False
         try:
             payload = pickle.dumps(verdict)
         except Exception:
@@ -145,7 +229,7 @@ class ProofCache:
         )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(payload)
+            tmp.write_bytes(frame_entry(payload))
             os.replace(tmp, path)
         except OSError:
             try:
@@ -155,6 +239,21 @@ class ProofCache:
             return False
         with self._lock:
             self.stores += 1
+        return True
+
+    def corrupt_entry(self, key: str) -> bool:
+        """Deliberately truncate *key*'s entry to half its length (the
+        ``corrupt_cache_entry`` chaos fault).  Returns True if an entry
+        existed to corrupt."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return False
+        try:
+            path.write_bytes(raw[: max(1, len(raw) // 2)])
+        except OSError:
+            return False
         return True
 
     def __len__(self) -> int:

@@ -23,6 +23,16 @@ JOB_FINISHED = "job_finished"
 CACHE_HIT = "cache_hit"
 CACHE_STORE = "cache_store"
 POOL_FALLBACK = "pool_fallback"
+# --- resilience / chaos events ---
+JOB_RETRY = "job_retry"
+JOB_TIMEOUT = "job_timeout"
+JOB_ABANDONED = "job_abandoned"
+WORKER_CRASH = "worker_crash"
+WORKER_RESPAWN = "worker_respawn"
+FAULT_INJECTED = "fault_injected"
+CACHE_QUARANTINE = "cache_quarantine"
+JOURNAL_HIT = "journal_hit"
+DEADLINE_EXPIRED = "deadline_expired"
 
 
 @dataclass
@@ -36,6 +46,8 @@ class FarmEvent:
     wall_seconds: float = 0.0
     #: Jobs not yet finished at emission time (start/finish events).
     queue_depth: int = 0
+    #: Free-text qualifier (which fault fired, why a retry happened).
+    detail: str = ""
     timestamp: float = 0.0
 
 
@@ -53,9 +65,10 @@ class EventLog:
         label: str,
         wall_seconds: float = 0.0,
         queue_depth: int = 0,
+        detail: str = "",
     ) -> None:
         event = FarmEvent(
-            kind, job_key, label, wall_seconds, queue_depth,
+            kind, job_key, label, wall_seconds, queue_depth, detail,
             time.monotonic(),
         )
         with self._lock:
@@ -85,6 +98,22 @@ class FarmSummary:
     cache_hits: int = 0
     cache_stores: int = 0
     pool_fallbacks: int = 0
+    #: Re-executions of transiently failed obligations.
+    retries: int = 0
+    #: Obligations that exceeded a wall-clock deadline (TIMEOUT verdicts).
+    timeouts: int = 0
+    #: Obligations abandoned as UNKNOWN after retry exhaustion.
+    abandoned: int = 0
+    #: Worker deaths observed (real SIGKILLs and simulated crashes).
+    worker_crashes: int = 0
+    #: Process pools rebuilt after a crash.
+    worker_respawns: int = 0
+    #: Faults fired by an injected plan.
+    faults_injected: int = 0
+    #: Corrupt cache entries quarantined and recomputed.
+    cache_quarantined: int = 0
+    #: Obligations replayed from a resume journal.
+    journal_hits: int = 0
     worker_seconds: float = 0.0
     max_queue_depth: int = 0
     #: The slowest executed jobs, as (label, wall seconds), slowest first.
@@ -107,6 +136,22 @@ class FarmSummary:
                 summary.cache_stores += 1
             elif event.kind == POOL_FALLBACK:
                 summary.pool_fallbacks += 1
+            elif event.kind == JOB_RETRY:
+                summary.retries += 1
+            elif event.kind == JOB_TIMEOUT:
+                summary.timeouts += 1
+            elif event.kind == JOB_ABANDONED:
+                summary.abandoned += 1
+            elif event.kind == WORKER_CRASH:
+                summary.worker_crashes += 1
+            elif event.kind == WORKER_RESPAWN:
+                summary.worker_respawns += 1
+            elif event.kind == FAULT_INJECTED:
+                summary.faults_injected += 1
+            elif event.kind == CACHE_QUARANTINE:
+                summary.cache_quarantined += 1
+            elif event.kind == JOURNAL_HIT:
+                summary.journal_hits += 1
             if event.queue_depth > summary.max_queue_depth:
                 summary.max_queue_depth = event.queue_depth
         timed.sort(key=lambda pair: -pair[1])
@@ -139,6 +184,23 @@ class FarmSummary:
         if self.pool_fallbacks:
             lines.append(
                 f"process-pool fallbacks to inline: {self.pool_fallbacks}"
+            )
+        if self.journal_hits:
+            lines.append(
+                f"replayed from journal:  {self.journal_hits}"
+            )
+        if self.retries or self.worker_crashes or self.timeouts \
+                or self.abandoned or self.faults_injected \
+                or self.cache_quarantined:
+            lines.append(
+                f"retries: {self.retries}  timeouts: {self.timeouts}  "
+                f"abandoned: {self.abandoned}"
+            )
+            lines.append(
+                f"worker crashes: {self.worker_crashes}  "
+                f"respawns: {self.worker_respawns}  "
+                f"faults injected: {self.faults_injected}  "
+                f"cache entries quarantined: {self.cache_quarantined}"
             )
         if self.slowest:
             lines.append("slowest obligations:")

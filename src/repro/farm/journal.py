@@ -1,0 +1,113 @@
+"""Run journal: append-only obligation log for crash-safe resume.
+
+``armada verify --journal FILE`` appends one JSON line per settled
+obligation — its content-addressed key, its verdict status, and a
+string rendering of any counterexample — flushed as written.  If the
+run is interrupted (worker farm wedged, machine lost, operator ^C),
+re-running with the same journal discharges every already-settled
+obligation by file read and restarts from where the run died.
+
+This is deliberately weaker than the proof cache: the journal is
+scoped to one logical run (keys still embed the full content address,
+so a stale journal can never resurrect a verdict for changed input —
+the keys simply won't match), and refuted verdicts round-trip with
+their counterexample flattened to a string.  Only *settled* verdicts
+(proved/refuted) are journaled: a TIMEOUT or UNKNOWN entry would pin
+an inconclusive answer that a resumed run should try again.
+
+Like the cache, the journal self-heals: truncated or garbage lines —
+the expected outcome of dying mid-write — are counted and skipped, and
+the corresponding obligations simply re-run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.verifier.prover import SETTLED, Verdict
+
+JOURNAL_FORMAT = "armada-journal/1"
+
+
+class Journal:
+    """Append-only verdict log bound to one file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: Verdicts replayable from previous runs, by job key.
+        self._entries: dict[str, Verdict] = {}
+        #: Lines that failed to parse or verify (torn writes).
+        self.corrupt_lines = 0
+        #: Entries served to the farm this run.
+        self.replayed = 0
+        self._load()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(record, dict):
+                self.corrupt_lines += 1
+                continue
+            if record.get("format") == JOURNAL_FORMAT:
+                continue  # header line
+            key = record.get("key")
+            status = record.get("status")
+            if not isinstance(key, str) or status not in SETTLED:
+                self.corrupt_lines += 1
+                continue
+            detail = record.get("counterexample")
+            self._entries[key] = Verdict(
+                status,
+                {"journal": detail} if detail is not None else None,
+            )
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> Verdict | None:
+        """A settled verdict from a previous run, or None."""
+        verdict = self._entries.get(key)
+        if verdict is not None:
+            self.replayed += 1
+        return verdict
+
+    def record(self, key: str, verdict: Verdict) -> None:
+        """Append one settled verdict, flushed immediately so a crash
+        at any point loses at most the line being written."""
+        if verdict.status not in SETTLED:
+            return
+        if key in self._entries:
+            return
+        record = {"key": key, "status": verdict.status}
+        if verdict.counterexample is not None:
+            record["counterexample"] = json.dumps(
+                verdict.counterexample, default=str, sort_keys=True
+            )
+        self._entries[key] = verdict
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass

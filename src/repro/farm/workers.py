@@ -1,10 +1,12 @@
-"""Worker pool: discharges farm jobs concurrently, deterministically.
+"""Worker pool: discharges farm jobs concurrently, deterministically,
+and — since the resilience layer — *fault-tolerantly*.
 
 ``run_jobs`` is the farm's execution core.  It takes the scheduler's job
-queue and drives it to completion in three phases:
+queue and drives it to completion in phases:
 
-1. **Cache probe** — cacheable jobs are looked up in the proof cache;
-   hits skip execution entirely (a ``cache_hit`` event is emitted).
+1. **Cache/journal probe** — cacheable jobs are looked up in the proof
+   cache (``cache_hit``) and then in the resume journal
+   (``journal_hit``); hits skip execution entirely.
 2. **Execution** — remaining jobs run sequentially, on a thread pool, or
    on a process pool.  Process workers require picklable thunks; lemma
    obligations are closures over machines and contexts, which pickle
@@ -14,7 +16,26 @@ queue and drives it to completion in three phases:
 3. **Apply + store** — results are written back via each job's ``apply``
    callback *in queue order* on the calling thread, so the per-lemma
    verdict sequence is identical across all modes; freshly computed
-   cacheable verdicts are stored to the cache.
+   settled verdicts are stored to the cache and appended to the journal.
+
+Resilience semantics (see :mod:`repro.farm.resilience`):
+
+* An attempt that exceeds its wall-clock budget (per-obligation
+  deadline, or what is left of the chain budget) yields a **TIMEOUT
+  verdict** — inconclusive, never refuted, never hung.  The runaway
+  attempt is abandoned on a daemon thread; obligations are pure
+  functions of their fingerprint, so the discarded result is harmless.
+* A **transient failure** (:class:`~repro.errors.TransientFault`:
+  worker death, injected chaos) is retried with deterministic
+  exponential backoff, capped by the retry budget; exhaustion yields an
+  UNKNOWN verdict (``job_abandoned``).
+* A **dead process worker** (real ``kill -9``) breaks the pool; every
+  completed result is kept, the casualties are requeued, and the pool
+  is rebuilt (``worker_crash`` / ``worker_respawn``).  Requeueing is
+  sound because obligations are pure: at-least-once execution cannot
+  change a verdict.  The scheduler never waits on a dead queue — a
+  broken pool always surfaces as an exception that the respawn loop
+  consumes.
 
 An ``ArmadaError`` inside a wrapped obligation becomes a refuted verdict
 carrying the error text (the proof engine's historical behaviour); any
@@ -23,24 +44,49 @@ other exception propagates to the caller, in every mode.
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import ArmadaError
+from repro.errors import (
+    ArmadaError,
+    ObligationTimeout,
+    TransientFault,
+    WorkerCrash,
+)
 from repro.farm.events import (
     CACHE_HIT,
     CACHE_STORE,
+    DEADLINE_EXPIRED,
+    FAULT_INJECTED,
+    JOB_ABANDONED,
     JOB_FINISHED,
     JOB_QUEUED,
+    JOB_RETRY,
     JOB_STARTED,
+    JOB_TIMEOUT,
+    JOURNAL_HIT,
     POOL_FALLBACK,
+    WORKER_CRASH,
+    WORKER_RESPAWN,
     EventLog,
 )
 from repro.farm.scheduler import Job
+from repro.faults.plan import (
+    CRASH_WORKER,
+    DELAY,
+    PHASE_CACHE_STORE,
+    PHASE_EXECUTE,
+    RAISE,
+    TIMEOUT_FAULT,
+    FaultRule,
+)
 from repro.obs import OBS
-from repro.verifier.prover import Verdict
+from repro.verifier.prover import TIMEOUT, UNKNOWN, Verdict
 
 SEQUENTIAL = "sequential"
 THREAD = "thread"
@@ -71,37 +117,77 @@ def _wrap_armada_error(error: ArmadaError) -> Verdict:
     return bool_verdict(False, {"error": str(error)})
 
 
-def _run_thunk(job: Job) -> tuple:
-    """Execute one job's thunk, returning (result, wall_seconds)."""
-    started = time.perf_counter()
-    try:
-        result = job.thunk()
-    except ArmadaError as error:
-        if not job.wrap_errors:
-            raise
-        result = _wrap_armada_error(error)
-    return result, time.perf_counter() - started
+def _timeout_verdict(detail: str) -> Verdict:
+    return Verdict(TIMEOUT, {"error": detail})
 
 
-def _invoke(thunk):
-    """Module-level trampoline so process pools can call a pickled
-    thunk."""
-    return thunk()
+def _abandoned_verdict(attempts: int, reason: str) -> Verdict:
+    return Verdict(
+        UNKNOWN,
+        {"error": f"abandoned after {attempts} attempt(s): {reason}"},
+    )
 
 
-def _invoke_traced(thunk, label, shard_dir):
-    """Trampoline for traced process-pool jobs: record the obligation
-    span into this worker's shard.
+def _inconclusive_result(job: Job, verdict: Verdict):
+    """Inconclusive outcome in the shape the job's ``apply`` expects.
 
-    Forked workers inherit an enabled observer and are redirected to a
-    shard automatically; spawned workers start disabled, so the parent
-    ships the shard directory along and the worker opens its shard
-    explicitly.  Either way the parent merges shards after the round.
-    """
-    if not OBS.enabled and shard_dir is not None:
-        OBS.enable_shard(shard_dir)
-    with OBS.span(label, "obligation", cached=False):
-        return thunk()
+    Lemma jobs take Verdicts; global-check jobs (``wrap_errors=False``)
+    take strategy results or ArmadaErrors, so their timeout surfaces as
+    a validation error instead."""
+    if job.wrap_errors:
+        return verdict
+    detail = (verdict.counterexample or {}).get("error", verdict.status)
+    return ArmadaError(str(detail))
+
+
+def _call_with_deadline(fn, budget: float | None):
+    """Run *fn* with a wall-clock budget.
+
+    The attempt runs on a daemon helper thread; if the budget expires
+    the helper is abandoned (its eventual result is discarded — sound
+    because obligations are pure) and :class:`ObligationTimeout` is
+    raised in the caller."""
+    if budget is None:
+        return fn()
+    if budget <= 0:
+        raise ObligationTimeout(0.0, "chain deadline budget")
+    box: dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as error:  # re-raised on the caller side
+            box["error"] = error
+
+    helper = threading.Thread(
+        target=target, daemon=True, name="armada-obligation"
+    )
+    helper.start()
+    helper.join(budget)
+    if helper.is_alive():
+        raise ObligationTimeout(budget)
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["result"]
+
+
+def _fire_execute_fault(rule: FaultRule, in_pool_worker: bool) -> None:
+    """Apply one injected fault at the execute phase.  ``delay``
+    returns (the obligation then runs late); the rest interrupt."""
+    if rule.action == DELAY:
+        time.sleep(rule.seconds)
+        return
+    if rule.action == RAISE:
+        raise TransientFault(
+            rule.message or f"injected transient fault ({rule.describe()})"
+        )
+    if rule.action == CRASH_WORKER:
+        if in_pool_worker:
+            # A real kill -9 of this pool worker, mid-obligation.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerCrash(f"injected worker crash ({rule.describe()})")
+    if rule.action == TIMEOUT_FAULT:
+        raise ObligationTimeout(rule.seconds, "injected deadline")
 
 
 def _picklable(thunk) -> bool:
@@ -112,22 +198,137 @@ def _picklable(thunk) -> bool:
         return False
 
 
-def _run_one(job: Job, events: EventLog, tracker: _DepthTracker) -> None:
+def _chain_budget_expired(job: Job, events: EventLog,
+                          tracker: _DepthTracker, res) -> None:
+    """Short-circuit a job the chain deadline left no budget for."""
+    detail = (
+        f"chain deadline budget ({res.chain_deadline:g}s) exhausted "
+        "before this obligation ran"
+    )
+    job.result = _inconclusive_result(job, _timeout_verdict(detail))
+    job.finished = True
+    if res.report_expiry_once():
+        events.emit(DEADLINE_EXPIRED, "", "", detail=detail)
+    events.emit(JOB_TIMEOUT, job.key, job.label, detail=detail)
+    if OBS.enabled:
+        OBS.count("farm.timeouts")
+    depth = tracker.finish_one()
+    events.emit(JOB_FINISHED, job.key, job.label, queue_depth=depth)
+
+
+def _run_one(job: Job, events: EventLog, tracker: _DepthTracker,
+             res=None) -> None:
+    """Execute one job in this process, with retries and deadlines."""
     events.emit(JOB_STARTED, job.key, job.label,
                 queue_depth=tracker.depth())
-    if OBS.enabled:
+    traced = OBS.enabled
+    if traced:
         queued_at = job.metadata.get("queued_at")
         if queued_at is not None:
             OBS.observe("farm.queue_wait_seconds",
                         time.perf_counter() - queued_at)
-        with OBS.span(job.label, "obligation", cached=False):
-            job.result, job.wall_seconds = _run_thunk(job)
-    else:
-        job.result, job.wall_seconds = _run_thunk(job)
+    while True:
+        if res is not None and res.chain_expired():
+            detail = (
+                f"chain deadline budget ({res.chain_deadline:g}s) "
+                "exhausted"
+            )
+            job.result = _inconclusive_result(
+                job, _timeout_verdict(detail)
+            )
+            if res.report_expiry_once():
+                events.emit(DEADLINE_EXPIRED, "", "", detail=detail)
+            events.emit(JOB_TIMEOUT, job.key, job.label, detail=detail)
+            if traced:
+                OBS.count("farm.timeouts")
+            break
+        rule = None
+        if res is not None:
+            rule = res.fault(PHASE_EXECUTE, job.index, job.label,
+                             job.attempts)
+        if rule is not None:
+            job.faults_hit.append(rule.action)
+            events.emit(FAULT_INJECTED, job.key, job.label,
+                        detail=rule.describe())
+            if traced:
+                OBS.count("farm.faults_injected")
+        budget = res.attempt_budget() if res is not None else None
+        job.attempts += 1
+        started = time.perf_counter()
+        span_attrs = {"cached": False}
+        if rule is not None:
+            span_attrs["fault"] = rule.action
+
+        def attempt():
+            if rule is not None:
+                _fire_execute_fault(rule, in_pool_worker=False)
+            return job.thunk()
+
+        try:
+            with OBS.span(job.label, "obligation", **span_attrs) \
+                    if traced else _NULL_CONTEXT:
+                try:
+                    if budget is None and rule is None:
+                        result = job.thunk()  # zero-overhead fast path
+                    else:
+                        result = _call_with_deadline(attempt, budget)
+                except ArmadaError as error:
+                    if not job.wrap_errors:
+                        raise
+                    result = _wrap_armada_error(error)
+            job.result = result
+            job.wall_seconds = time.perf_counter() - started
+            break
+        except ObligationTimeout as timeout:
+            job.wall_seconds = time.perf_counter() - started
+            job.result = _inconclusive_result(
+                job, _timeout_verdict(str(timeout))
+            )
+            events.emit(JOB_TIMEOUT, job.key, job.label,
+                        wall_seconds=job.wall_seconds,
+                        detail=str(timeout))
+            if traced:
+                OBS.count("farm.timeouts")
+            break
+        except TransientFault as fault:
+            job.wall_seconds = time.perf_counter() - started
+            if isinstance(fault, WorkerCrash):
+                events.emit(WORKER_CRASH, job.key, job.label,
+                            detail=str(fault))
+                if traced:
+                    OBS.count("farm.worker_crashes")
+            max_retries = res.max_retries if res is not None else 0
+            if job.attempts > max_retries:
+                job.result = _inconclusive_result(
+                    job, _abandoned_verdict(job.attempts, str(fault))
+                )
+                events.emit(JOB_ABANDONED, job.key, job.label,
+                            detail=str(fault))
+                if traced:
+                    OBS.count("farm.abandoned")
+                break
+            events.emit(JOB_RETRY, job.key, job.label,
+                        detail=str(fault))
+            if traced:
+                OBS.count("farm.retries")
+            time.sleep(res.backoff_seconds(job.key, job.attempts))
     job.finished = True
     depth = tracker.finish_one()
     events.emit(JOB_FINISHED, job.key, job.label,
                 wall_seconds=job.wall_seconds, queue_depth=depth)
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
 
 
 def run_jobs(
@@ -136,16 +337,25 @@ def run_jobs(
     max_workers: int = 1,
     cache=None,
     events: EventLog | None = None,
+    resilience=None,
+    journal=None,
 ) -> list[Job]:
     """Discharge every job; returns the same list with results filled."""
     if mode not in MODES:
         raise ValueError(f"unknown farm mode {mode!r}; expected {MODES}")
     if events is None:
         events = EventLog()
+    res = resilience
+    if res is not None:
+        res.arm()
 
     traced = OBS.enabled
     queued_at = time.perf_counter() if traced else 0.0
     for position, job in enumerate(jobs):
+        # Batch-relative obligation index: the deterministic address
+        # fault-plan rules use (``armada verify`` discharges the whole
+        # chain as one batch, so indices are chain-wide there).
+        job.index = position
         events.emit(JOB_QUEUED, job.key, job.label,
                     queue_depth=len(jobs) - position)
         if traced:
@@ -169,23 +379,36 @@ def run_jobs(
                 continue
             if traced:
                 OBS.count("farm.cache_misses")
+        if journal is not None and job.cacheable:
+            verdict = journal.lookup(job.key)
+            if verdict is not None:
+                job.result = verdict
+                job.finished = True
+                job.from_journal = True
+                events.emit(JOURNAL_HIT, job.key, job.label)
+                if traced:
+                    OBS.count("farm.journal_hits")
+                    with OBS.span(job.label, "obligation",
+                                  cached=True, journal=True):
+                        pass
+                continue
         to_run.append(job)
 
     tracker = _DepthTracker(len(to_run))
     workers = max(1, max_workers)
     if mode == SEQUENTIAL or workers == 1 or len(to_run) <= 1:
         for job in to_run:
-            _run_one(job, events, tracker)
+            _run_one(job, events, tracker, res)
     elif mode == THREAD:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_one, job, events, tracker)
+                pool.submit(_run_one, job, events, tracker, res)
                 for job in to_run
             ]
             for future in futures:
                 future.result()
     else:  # PROCESS
-        _run_process_mode(to_run, events, tracker, workers)
+        _run_process_mode(to_run, events, tracker, workers, res)
 
     # Deterministic write-back: queue order, calling thread.
     for job in jobs:
@@ -194,11 +417,72 @@ def run_jobs(
             cache is not None
             and job.cacheable
             and not job.from_cache
+            and not job.from_journal
             and isinstance(job.result, Verdict)
         ):
             if cache.put(job.key, job.result):
                 events.emit(CACHE_STORE, job.key, job.label)
+                rule = None
+                if res is not None:
+                    rule = res.fault(PHASE_CACHE_STORE, job.index,
+                                     job.label, 0)
+                if rule is not None and cache.corrupt_entry(job.key):
+                    job.faults_hit.append(rule.action)
+                    events.emit(FAULT_INJECTED, job.key, job.label,
+                                detail=rule.describe())
+                    if traced:
+                        OBS.count("farm.faults_injected")
+        if (
+            journal is not None
+            and job.cacheable
+            and not job.from_journal
+            and isinstance(job.result, Verdict)
+        ):
+            journal.record(job.key, job.result)
     return jobs
+
+
+# ----------------------------------------------------------------------
+# process mode
+
+
+def _pool_attempt(thunk, label, rule, budget, shard_dir, traced):
+    """One attempt inside a pool worker process.
+
+    Transient and timeout outcomes cross the process boundary as tagged
+    tuples (custom exceptions do not all survive pickling); ArmadaError
+    propagates as before.  A ``crash_worker`` rule SIGKILLs this worker
+    mid-obligation — this function then never returns and the parent
+    observes a broken pool.
+    """
+    if traced and not OBS.enabled and shard_dir is not None:
+        OBS.enable_shard(shard_dir)
+    span_attrs = {"cached": False}
+    if rule is not None:
+        span_attrs["fault"] = rule.action
+    with OBS.span(label, "obligation", **span_attrs) \
+            if OBS.enabled else _NULL_CONTEXT:
+
+        def attempt():
+            if rule is not None:
+                _fire_execute_fault(rule, in_pool_worker=True)
+            return thunk()
+
+        try:
+            return ("ok", _call_with_deadline(attempt, budget))
+        except ObligationTimeout as timeout:
+            return ("timeout", str(timeout))
+        except TransientFault as fault:
+            return ("transient", str(fault))
+
+
+def _finish_pool_job(job, result, started, events, tracker) -> None:
+    job.result = result
+    job.wall_seconds = time.perf_counter() - started
+    job.finished = True
+    depth = tracker.finish_one()
+    events.emit(JOB_FINISHED, job.key, job.label,
+                wall_seconds=job.wall_seconds, queue_depth=depth)
 
 
 def _run_process_mode(
@@ -206,46 +490,188 @@ def _run_process_mode(
     events: EventLog,
     tracker: _DepthTracker,
     workers: int,
+    res=None,
 ) -> None:
-    """Process-pool execution with per-job inline fallback.
+    """Process-pool execution with inline fallback, crash detection,
+    and pool respawn.
 
     Obligations that close over non-picklable state (in practice: any
-    closure) cannot cross a process boundary; they run inline here so
-    the verdicts are always complete and identical to the other modes.
+    closure) cannot cross a process boundary; they run inline through
+    the same resilient path as thread mode.  Poolable jobs run in
+    rounds: a worker death breaks the whole pool (that is how
+    ``ProcessPoolExecutor`` surfaces SIGKILL), so completed results are
+    kept, the casualties are requeued, and a fresh pool is spawned for
+    the next round.  Rounds always terminate: every round either
+    finishes a job or consumes someone's retry budget, and both are
+    finite.
     """
     poolable = [job for job in to_run if _picklable(job.thunk)]
     inline = [job for job in to_run if not _picklable(job.thunk)]
     traced = OBS.enabled
     shard_dir = OBS.shard_dir() if traced else None
-    futures = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for job in poolable:
-            events.emit(JOB_STARTED, job.key, job.label,
-                        queue_depth=tracker.depth())
-            if traced:
-                future = pool.submit(
-                    _invoke_traced, job.thunk, job.label, shard_dir
+    for job in inline:
+        events.emit(POOL_FALLBACK, job.key, job.label,
+                    queue_depth=tracker.depth())
+        job.ran_inline = True
+        _run_one(job, events, tracker, res)
+
+    pending = list(poolable)
+    pool: ProcessPoolExecutor | None = None
+    try:
+        while pending:
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            batch, pending = pending, []
+            submitted: list[tuple[Job, object, FaultRule | None,
+                                  float]] = []
+            pool_broken = False
+            for job in batch:
+                if res is not None and res.chain_expired():
+                    _chain_budget_expired(job, events, tracker, res)
+                    continue
+                rule = None
+                if res is not None:
+                    rule = res.fault(PHASE_EXECUTE, job.index,
+                                     job.label, job.attempts)
+                if rule is not None:
+                    job.faults_hit.append(rule.action)
+                    events.emit(FAULT_INJECTED, job.key, job.label,
+                                detail=rule.describe())
+                    if traced:
+                        OBS.count("farm.faults_injected")
+                budget = (
+                    res.attempt_budget() if res is not None else None
                 )
-            else:
-                future = pool.submit(_invoke, job.thunk)
-            futures[id(job)] = (job, future, time.perf_counter())
-        for job in inline:
-            events.emit(POOL_FALLBACK, job.key, job.label,
-                        queue_depth=tracker.depth())
-            job.ran_inline = True
-            _run_one(job, events, tracker)
-        for job, future, started in futures.values():
-            try:
-                job.result = future.result()
-            except ArmadaError as error:
-                if not job.wrap_errors:
-                    raise
-                job.result = _wrap_armada_error(error)
-            job.wall_seconds = time.perf_counter() - started
-            job.finished = True
-            depth = tracker.finish_one()
-            events.emit(JOB_FINISHED, job.key, job.label,
-                        wall_seconds=job.wall_seconds, queue_depth=depth)
+                events.emit(JOB_STARTED, job.key, job.label,
+                            queue_depth=tracker.depth())
+                job.attempts += 1
+                try:
+                    future = pool.submit(
+                        _pool_attempt, job.thunk, job.label, rule,
+                        budget, shard_dir, traced,
+                    )
+                except BrokenProcessPool:
+                    # Pool died while we were still submitting: the
+                    # attempt never ran, so it costs no retry budget.
+                    job.attempts -= 1
+                    pool_broken = True
+                    pending.append(job)
+                    continue
+                submitted.append((job, future, rule, time.perf_counter()))
+
+            casualties: list[tuple[Job, FaultRule | None]] = []
+            for job, future, rule, started in submitted:
+                try:
+                    tag, *payload = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    casualties.append((job, rule))
+                    continue
+                except ArmadaError as error:
+                    if not job.wrap_errors:
+                        raise
+                    _finish_pool_job(job, _wrap_armada_error(error),
+                                     started, events, tracker)
+                    continue
+                if tag == "ok":
+                    _finish_pool_job(job, payload[0], started, events,
+                                     tracker)
+                elif tag == "timeout":
+                    events.emit(JOB_TIMEOUT, job.key, job.label,
+                                detail=payload[0])
+                    if traced:
+                        OBS.count("farm.timeouts")
+                    _finish_pool_job(
+                        job,
+                        _inconclusive_result(
+                            job, _timeout_verdict(payload[0])
+                        ),
+                        started, events, tracker,
+                    )
+                else:  # transient
+                    reason = payload[0]
+                    max_retries = (
+                        res.max_retries if res is not None else 0
+                    )
+                    if job.attempts > max_retries:
+                        events.emit(JOB_ABANDONED, job.key, job.label,
+                                    detail=reason)
+                        if traced:
+                            OBS.count("farm.abandoned")
+                        _finish_pool_job(
+                            job,
+                            _inconclusive_result(
+                                job,
+                                _abandoned_verdict(job.attempts, reason),
+                            ),
+                            started, events, tracker,
+                        )
+                    else:
+                        events.emit(JOB_RETRY, job.key, job.label,
+                                    detail=reason)
+                        if traced:
+                            OBS.count("farm.retries")
+                        time.sleep(
+                            res.backoff_seconds(job.key, job.attempts)
+                        )
+                        pending.append(job)
+
+            if casualties:
+                events.emit(
+                    WORKER_CRASH, casualties[0][0].key,
+                    casualties[0][0].label,
+                    detail=(
+                        f"process-pool worker died; {len(casualties)} "
+                        "in-flight obligation(s) requeued"
+                    ),
+                )
+                if traced:
+                    OBS.count("farm.worker_crashes")
+                # Blame: jobs whose injected rule was the crash consumed
+                # their attempt; innocent bystanders that died with the
+                # pool get their attempt back (it never completed).
+                # With no injected crash (a real kill), every casualty
+                # keeps the attempt so retries stay bounded.
+                blamed = {
+                    id(job) for job, rule in casualties
+                    if rule is not None and rule.action == CRASH_WORKER
+                }
+                max_retries = res.max_retries if res is not None else 0
+                for job, rule in casualties:
+                    if blamed and id(job) not in blamed:
+                        job.attempts -= 1
+                    if job.attempts > max_retries:
+                        events.emit(JOB_ABANDONED, job.key, job.label,
+                                    detail="worker crash")
+                        if traced:
+                            OBS.count("farm.abandoned")
+                        _finish_pool_job(
+                            job,
+                            _inconclusive_result(
+                                job,
+                                _abandoned_verdict(
+                                    job.attempts,
+                                    "worker crash (kill -9?)",
+                                ),
+                            ),
+                            time.perf_counter(), events, tracker,
+                        )
+                    else:
+                        events.emit(JOB_RETRY, job.key, job.label,
+                                    detail="worker crash — requeued")
+                        if traced:
+                            OBS.count("farm.retries")
+                        pending.append(job)
+
+            if pool_broken:
+                pool.shutdown(wait=False)
+                pool = None
+                if pending:
+                    events.emit(WORKER_RESPAWN, "", "",
+                                detail=f"pool rebuilt x{workers}")
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
     if traced:
         # The scheduler side merges worker shards back into the main
         # trace once the pool has drained (process-safe by design).

@@ -50,6 +50,10 @@ class ProofOutcome:
     error: str | None = None
     refinement_checked: bool = False
     elapsed_seconds: float = 0.0
+    #: Every unproved lemma timed out or was abandoned (UNKNOWN): the
+    #: proof is *inconclusive* — not refuted — and a re-run with a
+    #: bigger deadline or a healthier farm may still settle it.
+    inconclusive: bool = False
 
     @property
     def generated_sloc(self) -> int:
@@ -83,6 +87,28 @@ class ChainOutcome:
     @property
     def success(self) -> bool:
         return all(o.success for o in self.outcomes) and bool(self.outcomes)
+
+    @property
+    def inconclusive(self) -> bool:
+        """The chain did not verify, but nothing was refuted either:
+        every non-successful proof is inconclusive (timeouts/UNKNOWNs).
+        Callers must not report this as 'the program is wrong'."""
+        return (
+            not self.success
+            and bool(self.outcomes)
+            and all(
+                o.success or o.inconclusive for o in self.outcomes
+            )
+        )
+
+    @property
+    def status(self) -> str:
+        """``verified`` / ``inconclusive`` / ``failed``."""
+        if self.success:
+            return "verified"
+        if self.inconclusive:
+            return "inconclusive"
+        return "failed"
 
     @property
     def total_generated_sloc(self) -> int:
@@ -447,6 +473,20 @@ class ProofEngine:
                 )
                 for lemma in failed[:3]
             )
+            # If nothing was actually refuted — every unproved lemma
+            # timed out or was abandoned — the proof is inconclusive,
+            # not failed: a refutation claims the program is wrong, a
+            # timeout only says the farm ran out of budget.
+            if all(
+                lemma.verdict is not None and lemma.verdict.inconclusive
+                for lemma in failed
+            ):
+                return ProofOutcome(
+                    proof.name, proof.strategy.name, False, script,
+                    f"inconclusive: {details}",
+                    prep.refinement_checked, elapsed,
+                    inconclusive=True,
+                )
             return ProofOutcome(
                 proof.name, proof.strategy.name, False, script,
                 f"verification failed: {details}",

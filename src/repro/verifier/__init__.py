@@ -8,6 +8,8 @@ from repro.verifier.prover import (  # noqa: F401
     Prover,
     ProverConfig,
     REFUTED,
+    SETTLED,
+    TIMEOUT,
     UNKNOWN,
     Verdict,
 )

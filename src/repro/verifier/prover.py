@@ -33,6 +33,15 @@ from repro.verifier.interp import UNDEF, interpret, is_undef
 PROVED = "proved"
 REFUTED = "refuted"
 UNKNOWN = "unknown"
+#: The obligation ran out of wall-clock budget (per-obligation deadline
+#: or whole-chain deadline).  Like UNKNOWN it is *inconclusive*: the
+#: engine must neither treat it as a refutation nor hang on it.
+TIMEOUT = "timeout"
+
+#: Statuses that settle the obligation (safe to cache/journal).  A
+#: TIMEOUT or UNKNOWN verdict is environment-dependent — a bigger
+#: deadline or a healthier farm may settle it — so it is never cached.
+SETTLED = (PROVED, REFUTED)
 
 
 @dataclass
@@ -46,6 +55,13 @@ class Verdict:
     @property
     def ok(self) -> bool:
         return self.status == PROVED
+
+    @property
+    def inconclusive(self) -> bool:
+        """Neither proved nor refuted: the obligation timed out or was
+        abandoned after retry exhaustion.  Propagates through the
+        engine as an inconclusive proof, never as a refutation."""
+        return self.status not in SETTLED
 
     def __bool__(self) -> bool:
         return self.ok
