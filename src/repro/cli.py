@@ -23,10 +23,18 @@ from repro.errors import ArmadaError
 #: Default proof-cache directory for ``armada verify``.
 DEFAULT_CACHE_DIR = ".armada-cache"
 
+#: Default state directory for ``armada serve`` (and the client
+#: subcommands' default socket lives inside it).
+DEFAULT_SERVE_DIR = ".armada-serve"
+
 
 def _default_cache_dir() -> str:
     """Resolved at parse time so $ARMADA_CACHE_DIR can redirect it."""
     return os.environ.get("ARMADA_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def _default_serve_dir() -> str:
+    return os.environ.get("ARMADA_SERVE_DIR", DEFAULT_SERVE_DIR)
 
 
 def _version() -> str:
@@ -100,6 +108,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             mode=args.farm_mode,
             cache_dir=None if args.no_cache else args.cache,
+            cache_max_bytes=args.cache_max_bytes,
             obligation_timeout=args.obligation_timeout,
             chain_deadline=args.chain_deadline,
             max_retries=args.max_retries,
@@ -120,9 +129,41 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"armada: cannot write trace {args.trace}: {error}",
                   file=sys.stderr)
             return 1
+    # Graceful drain: on SIGTERM/SIGINT the farm finishes in-flight
+    # obligations, short-circuits the rest as inconclusive, and the
+    # journal keeps every settled verdict — so the same command re-run
+    # with the same --journal resumes instead of restarting.
+    import signal as _signal
+
+    def _drain(signum: int, frame: object) -> None:
+        if farm.shutdown_requested:
+            # Second signal: the user means it — let the default
+            # disposition take over.
+            _signal.signal(signum, _signal.SIG_DFL)
+            _signal.raise_signal(signum)
+            return
+        farm.request_shutdown()
+        print(
+            "armada: drain requested — finishing in-flight "
+            "obligations; settled verdicts are journaled "
+            "(signal again to abort immediately)",
+            file=sys.stderr,
+        )
+
+    previous_handlers = {}
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous_handlers[signum] = _signal.signal(signum, _drain)
+        except (ValueError, OSError):
+            pass  # not the main thread
     try:
         outcome = engine.run_all()
     finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                _signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
         farm.close()
         if args.trace:
             OBS.disable()
@@ -162,6 +203,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.farm_report:
         for line in farm.report_lines():
             print(line)
+    if farm.shutdown_requested:
+        print(
+            "armada: drained after signal; re-run with the same "
+            "--journal to resume", file=sys.stderr,
+        )
+        return 130
     return 0 if outcome.success else 1
 
 
@@ -438,6 +485,207 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# verification as a service: armada serve / submit / status / result /
+# cancel / serve-stats
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ArmadaDaemon, run_daemon
+
+    if args.port is not None and args.socket is not None:
+        print("armada serve: --socket and --port are exclusive",
+              file=sys.stderr)
+        return 1
+    daemon = ArmadaDaemon(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        slots=args.slots,
+        cache_max_bytes=args.cache_max_bytes,
+        farm_jobs=args.jobs,
+        farm_mode=args.farm_mode,
+    )
+    return run_daemon(daemon)
+
+
+def _serve_client(args: argparse.Namespace):
+    """Build a :class:`ServeClient` from the shared connection flags."""
+    from repro.serve.client import ServeClient
+
+    if args.port is not None:
+        return ServeClient(host=args.host, port=args.port)
+    socket_path = args.socket or os.path.join(
+        _default_serve_dir(), "armada.sock"
+    )
+    return ServeClient(socket_path=socket_path)
+
+
+def _render_verify_result(result: dict) -> None:
+    """Print a serve verify result in ``armada verify``'s format."""
+    for note in result.get("analysis_notes") or []:
+        print(note)
+    if result.get("por_summary"):
+        print(result["por_summary"])
+    for o in result.get("outcomes") or []:
+        status = {
+            "verified": "verified",
+            "inconclusive": "INCONCLUSIVE",
+            "failed": "FAILED",
+        }.get(o["status"], o["status"])
+        cached = " [cached]" if o.get("from_cache") else ""
+        print(
+            f"{o['proof']} [{o['strategy']}]: {status} "
+            f"({o['lemmas']} lemmas, "
+            f"{o['generated_sloc']} generated SLOC, "
+            f"{o['elapsed_seconds']:.2f}s){cached}"
+        )
+        if o.get("error"):
+            print(f"  {o['error']}")
+    if result.get("chain"):
+        print("refinement chain:", " -> ".join(result["chain"]))
+    elif result.get("chain_error"):
+        print(f"chain error: {result['chain_error']}")
+    incremental = result.get("incremental")
+    if incremental and not incremental.get("first_submission"):
+        print(
+            f"incremental: {len(incremental['unchanged_levels'])} "
+            f"level(s) unchanged, "
+            f"{incremental['reused_proofs']} proof(s) reused, "
+            f"{incremental['reverified_proofs']} re-verified"
+        )
+
+
+def _print_terminal_result(response: dict, as_json: bool) -> int:
+    """Render a terminal job response; exit code mirrors batch mode."""
+    import json
+
+    state = response.get("state")
+    result = response.get("result") or {}
+    if as_json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    elif result.get("status") in ("verified", "failed", "inconclusive"):
+        _render_verify_result(result)
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    if state == "error":
+        if not as_json:
+            print(f"error: {response.get('error')}", file=sys.stderr)
+        return 2
+    if state == "cancelled":
+        if not as_json:
+            print("job cancelled", file=sys.stderr)
+        return 3
+    status = result.get("status")
+    if status in ("verified", "analyzed", "explored"):
+        return 0
+    return 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    source = _read_source(args.file)
+    options: dict = {"max_states": args.max_states}
+    if args.kind == "verify":
+        options["validate"] = args.validate
+        options["analyze"] = args.analyze
+        options["por"] = args.por
+    elif args.level is not None:
+        options["level"] = args.level
+    job_id = client.submit(
+        source,
+        kind=args.kind,
+        filename=args.file,
+        name=args.name or args.file,
+        options=options,
+    )
+    if not args.wait:
+        print(job_id)
+        return 0
+    response = client.result(job_id, wait=True, timeout=args.timeout)
+    return _print_terminal_result(response, args.json)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    client = _serve_client(args)
+    status = client.status(args.job)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        line = f"{status['id']}: {status['state']}"
+        if status.get("status"):
+            line += f" ({status['status']})"
+        runtime = status.get("runtime_seconds")
+        if runtime is not None:
+            line += f" after {runtime:.2f}s"
+        print(line)
+        if status.get("error"):
+            print(f"  {status['error']}")
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    response = client.result(
+        args.job, wait=args.wait, timeout=args.timeout
+    )
+    return _print_terminal_result(response, args.json)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    status = client.cancel(args.job)
+    print(f"{status['id']}: {status['state']} "
+          f"(cancel_requested={status['cancel_requested']})")
+    return 0
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    import json
+
+    client = _serve_client(args)
+    stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    cache = stats["cache"]
+    print(f"uptime: {stats['uptime_seconds']:.1f}s, "
+          f"slots: {stats['slots']}, draining: {stats['draining']}")
+    jobs = ", ".join(
+        f"{count} {state}"
+        for state, count in sorted(stats["jobs"].items())
+    ) or "none"
+    print(f"jobs: {jobs} ({stats['submitted']} submitted, "
+          f"{stats['completed']} completed)")
+    cap = (f"{cache['max_bytes']} bytes cap"
+           if cache["max_bytes"] is not None else "no cap")
+    print(f"proof cache: {cache['entries']} entries, "
+          f"{cache['bytes']} bytes ({cap}); "
+          f"{cache['hits']} hits, {cache['misses']} misses, "
+          f"{cache['evictions']} evicted, "
+          f"{cache['quarantined']} quarantined")
+    oc = stats["outcome_cache"]
+    print(f"outcome cache: {oc['entries']} entries; "
+          f"{oc['hits']} hits, {oc['misses']} misses, "
+          f"{oc['evictions']} evicted")
+    return 0
+
+
+def _add_connection_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon Unix socket (default: "
+             f"{DEFAULT_SERVE_DIR}/armada.sock, or $ARMADA_SERVE_DIR)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="daemon TCP host (with --port)")
+    p.add_argument("--port", type=int, default=None,
+                   help="daemon TCP port (instead of --socket)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="armada",
@@ -479,6 +727,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-cache", action="store_true",
         help="disable the proof cache for this run",
+    )
+    p.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="byte budget for the proof cache; exceeding it evicts "
+             "least-recently-used entries (default: unbounded)",
     )
     p.add_argument(
         "--farm-report", action="store_true",
@@ -621,6 +874,128 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("strategies", help="list proof strategies")
     p.set_defaults(func=_cmd_strategies)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the verification-as-a-service daemon (line-delimited "
+             "JSON job API over a Unix socket or TCP port)",
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a Unix socket (default: "
+             "STATE_DIR/armada.sock)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind host (with --port)")
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="listen on a TCP port instead of a Unix socket "
+             "(0 picks a free one)",
+    )
+    p.add_argument(
+        "--state-dir", default=_default_serve_dir(), metavar="DIR",
+        help="daemon state: shared proof cache, per-program journals, "
+             "fingerprint index, pending-job log (default: "
+             "%(default)s, or $ARMADA_SERVE_DIR)",
+    )
+    p.add_argument(
+        "--slots", type=int, default=2, metavar="N",
+        help="jobs run concurrently (default: %(default)s)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="farm workers per job (default: %(default)s)",
+    )
+    p.add_argument(
+        "--farm-mode", choices=("auto", "sequential", "thread",
+                                "process"),
+        default="auto",
+        help="worker pool kind for each job's farm",
+    )
+    p.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="byte budget for the shared proof cache (LRU eviction; "
+             "default: unbounded)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to a running armada serve daemon",
+    )
+    p.add_argument("file")
+    _add_connection_flags(p)
+    p.add_argument(
+        "--kind", choices=("verify", "analyze", "explore"),
+        default="verify",
+    )
+    p.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="tenant-visible program identity for incremental "
+             "fingerprint diffing (default: the file path)",
+    )
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument(
+        "--validate", choices=("auto", "always", "never"),
+        default="auto",
+        help="whole-program refinement validation policy (verify)",
+    )
+    p.add_argument("--analyze", action="store_true",
+                   help="run the static analyzer alongside (verify)")
+    p.add_argument("--por", action="store_true",
+                   help="partial-order reduction for state sweeps")
+    p.add_argument("--level", default=None,
+                   help="level to analyze/explore (default: first)")
+    p.add_argument(
+        "--wait", action="store_true",
+        help="block until the job settles and print its result "
+             "(exit code mirrors batch 'armada verify')",
+    )
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="bound --wait")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result JSON (with --wait)")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status", help="show a submitted job's state")
+    p.add_argument("job", help="job id returned by submit")
+    _add_connection_flags(p)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
+        "result", help="fetch a submitted job's result"
+    )
+    p.add_argument("job", help="job id returned by submit")
+    _add_connection_flags(p)
+    p.add_argument(
+        "--wait", action=argparse.BooleanOptionalAction, default=True,
+        help="block until the job settles (default: wait)",
+    )
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result JSON")
+    p.set_defaults(func=_cmd_result)
+
+    p = sub.add_parser(
+        "cancel",
+        help="cancel a submitted job (queued: never starts; running: "
+             "its farm drains)",
+    )
+    p.add_argument("job", help="job id returned by submit")
+    _add_connection_flags(p)
+    p.set_defaults(func=_cmd_cancel)
+
+    p = sub.add_parser(
+        "serve-stats",
+        help="daemon-wide counters: jobs by state, shared-cache "
+             "hit/miss/eviction numbers, outcome-cache reuse",
+    )
+    _add_connection_flags(p)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_serve_stats)
     return parser
 
 

@@ -118,6 +118,14 @@ class WorkerCrash(TransientFault):
     sequential modes).  The in-flight obligation is requeued."""
 
 
+class InconclusiveCheck(ArmadaError):
+    """A farm obligation was short-circuited before it settled — by a
+    drain request, a chain deadline, or retry exhaustion.  Distinct
+    from a plain :class:`ArmadaError` so the proof engine can report
+    the affected proof as *inconclusive* (retry me) rather than
+    *failed* (the program is wrong)."""
+
+
 class ObligationTimeout(Exception):
     """An obligation exceeded its wall-clock deadline.  Not retried —
     a deterministic obligation that timed out once will time out again

@@ -42,12 +42,14 @@ from repro.farm.cache import (  # noqa: F401
     structural_hash,
 )
 from repro.farm.events import (  # noqa: F401
+    CACHE_EVICT,
     CACHE_HIT,
     CACHE_QUARANTINE,
     CACHE_STORE,
     DEADLINE_EXPIRED,
     FAULT_INJECTED,
     JOB_ABANDONED,
+    JOB_CANCELLED,
     JOB_FINISHED,
     JOB_QUEUED,
     JOB_RETRY,
@@ -65,6 +67,7 @@ from repro.farm.journal import Journal  # noqa: F401
 from repro.farm.resilience import (  # noqa: F401
     DEFAULT_MAX_RETRIES,
     ResilienceConfig,
+    ShutdownToken,
 )
 from repro.farm.scheduler import (  # noqa: F401
     Job,
@@ -93,6 +96,9 @@ class FarmConfig:
     mode: str = "auto"
     #: Proof-cache directory; None disables caching.
     cache_dir: str | Path | None = None
+    #: Byte budget for the proof cache; exceeding it evicts
+    #: least-recently-used entries.  None = unbounded.
+    cache_max_bytes: int | None = None
     #: Per-obligation wall-clock deadline (seconds); None = unbounded.
     obligation_timeout: float | None = None
     #: Whole-chain wall-clock budget (seconds); None = unbounded.
@@ -121,21 +127,38 @@ class VerificationFarm:
     across batches so one summary covers the whole chain.
     """
 
-    def __init__(self, config: FarmConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: FarmConfig | None = None,
+        cache: ProofCache | None = None,
+    ) -> None:
+        """``cache``: an externally owned :class:`ProofCache` to use
+        instead of constructing one from ``config.cache_dir`` — the
+        ``armada serve`` daemon shares one capped, multi-tenant cache
+        instance across every job's farm this way.  A shared cache's
+        quarantine/eviction callbacks stay with its owner."""
         self.config = config or FarmConfig()
         if self.config.resolved_mode() not in MODES:
             raise ValueError(
                 f"unknown farm mode {self.config.mode!r}"
             )
         self.events = EventLog()
-        self.cache: ProofCache | None = (
-            ProofCache(
-                self.config.cache_dir,
-                on_quarantine=self._on_quarantine,
+        self.shutdown = ShutdownToken()
+        #: True when this farm's cache is owned by someone else.
+        self.cache_shared = cache is not None
+        if cache is not None:
+            self.cache: ProofCache | None = cache
+        else:
+            self.cache = (
+                ProofCache(
+                    self.config.cache_dir,
+                    on_quarantine=self._on_quarantine,
+                    max_bytes=self.config.cache_max_bytes,
+                    on_evict=self._on_evict,
+                )
+                if self.config.cache_dir is not None
+                else None
             )
-            if self.config.cache_dir is not None
-            else None
-        )
         self.journal: Journal | None = (
             Journal(self.config.journal_path)
             if self.config.journal_path is not None
@@ -147,10 +170,24 @@ class VerificationFarm:
             max_retries=self.config.max_retries,
             retry_base_delay=self.config.retry_base_delay,
             faults=self.config.faults,
+            shutdown=self.shutdown,
         )
 
     def _on_quarantine(self, key: str, reason: str) -> None:
         self.events.emit(CACHE_QUARANTINE, key, "", detail=reason)
+
+    def _on_evict(self, key: str, size: int) -> None:
+        self.events.emit(CACHE_EVICT, key, "", detail=f"{size} bytes")
+
+    def request_shutdown(self) -> None:
+        """Ask the farm to drain: in-flight obligations finish, queued
+        ones short-circuit to UNKNOWN (inconclusive, uncached), pools
+        wind down.  Safe from signal handlers and other threads."""
+        self.shutdown.request()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self.shutdown.requested
 
     def discharge(self, jobs: list[Job]) -> list[Job]:
         """Run one batch of jobs to completion.  The chain deadline is
@@ -189,12 +226,21 @@ class VerificationFarm:
         lines.append(f"policy: {self.resilience.describe()}")
         lines.extend(self.summary().report_lines())
         if self.cache is not None:
-            lines.append(
+            line = (
                 f"cache: {self.cache.directory} "
                 f"({self.cache.hits} hits, {self.cache.misses} misses, "
                 f"{self.cache.stores} stores, "
-                f"{self.cache.quarantined} quarantined)"
+                f"{self.cache.quarantined} quarantined, "
+                f"{self.cache.evictions} evicted)"
             )
+            if self.cache.max_bytes is not None:
+                line += (
+                    f" cap {self.cache.max_bytes} bytes, "
+                    f"{self.cache.total_bytes()} used"
+                )
+            if self.cache_shared:
+                line += " [shared]"
+            lines.append(line)
         if self.journal is not None:
             lines.append(
                 f"journal: {self.journal.path} "

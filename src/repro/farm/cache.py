@@ -23,6 +23,18 @@ Verdicts are stored one-per-file under ``<dir>/<k[:2]>/<k[2:]>.verdict``
 written atomically via ``os.replace`` so concurrent workers and even
 concurrent ``armada`` processes can share a cache directory safely.
 
+Size cap and LRU eviction
+-------------------------
+A long-running, multi-tenant cache (the ``armada serve`` daemon, or a
+shared CI cache directory) must not grow without bound.  Constructing
+the cache with ``max_bytes`` arms an LRU policy: every hit touches the
+entry's mtime, and a store that pushes the on-disk payload total over
+the cap evicts least-recently-used entries until the total is back
+under ~90% of it.  Eviction is purely a capacity decision — an evicted
+obligation is simply recomputed on its next miss — so it can never
+change a verdict, and concurrent evictors racing over the same
+directory at worst double-delete (``missing_ok`` unlinks).
+
 Every entry is *framed*: a magic/format header, the payload length, and
 a SHA-256 payload checksum precede the pickled verdict.  A read first
 validates the frame, so a truncated, garbage, or partially-written
@@ -145,6 +157,8 @@ class ProofCache:
         self,
         directory: str | Path,
         on_quarantine: Callable[[str, str], None] | None = None,
+        max_bytes: int | None = None,
+        on_evict: Callable[[str, int], None] | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.hits = 0
@@ -152,12 +166,24 @@ class ProofCache:
         self.stores = 0
         #: Corrupt entries detected, moved aside, and recomputed.
         self.quarantined = 0
+        #: Entries removed by the LRU policy to respect ``max_bytes``.
+        self.evictions = 0
+        #: Bytes reclaimed by eviction.
+        self.evicted_bytes = 0
         #: Called as ``on_quarantine(key, reason)`` for each bad entry.
         self.on_quarantine = on_quarantine
+        #: Byte budget for stored entries; None = unbounded.
+        self.max_bytes = max_bytes
+        #: Called as ``on_evict(key, size_bytes)`` per evicted entry.
+        self.on_evict = on_evict
         self._lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key[2:]}.verdict"
+
+    def _key_of(self, path: Path) -> str:
+        """Invert :meth:`_path`: shard dir + stem back to the hex key."""
+        return path.parent.name + path.stem
 
     def entry_path(self, key: str) -> Path:
         """Where *key*'s entry lives on disk (fault injection and
@@ -211,6 +237,12 @@ class ProofCache:
             return None
         with self._lock:
             self.hits += 1
+        # LRU recency: a hit is a use.  Failure is harmless (another
+        # process may have just evicted the entry).
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return verdict
 
     def put(self, key: str, verdict: Verdict) -> bool:
@@ -239,7 +271,55 @@ class ProofCache:
             return False
         with self._lock:
             self.stores += 1
+        if self.max_bytes is not None:
+            self._enforce_cap()
         return True
+
+    # ------------------------------------------------------------------
+    # size accounting and LRU eviction
+
+    def _entries(self) -> list[tuple[Path, float, int]]:
+        """Every stored entry as ``(path, mtime, size)``; entries that
+        vanish mid-scan (concurrent eviction) are skipped."""
+        rows: list[tuple[Path, float, int]] = []
+        if not self.directory.is_dir():
+            return rows
+        for path in self.directory.glob("??/*.verdict"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append((path, stat.st_mtime, stat.st_size))
+        return rows
+
+    def total_bytes(self) -> int:
+        """On-disk payload total (quarantine excluded)."""
+        return sum(size for _, _, size in self._entries())
+
+    def _enforce_cap(self) -> None:
+        """Evict least-recently-used entries until the stored total is
+        back under ~90% of ``max_bytes`` (hysteresis so a cache sitting
+        at the cap does not evict one entry per store)."""
+        assert self.max_bytes is not None
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        if total <= self.max_bytes:
+            return
+        target = int(self.max_bytes * 0.9)
+        entries.sort(key=lambda row: row[1])  # oldest mtime first
+        for path, _, size in entries:
+            if total <= target:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # already gone: a concurrent evictor won
+            total -= size
+            with self._lock:
+                self.evictions += 1
+                self.evicted_bytes += size
+            if self.on_evict is not None:
+                self.on_evict(self._key_of(path), size)
 
     def corrupt_entry(self, key: str) -> bool:
         """Deliberately truncate *key*'s entry to half its length (the

@@ -31,8 +31,12 @@ WORKER_CRASH = "worker_crash"
 WORKER_RESPAWN = "worker_respawn"
 FAULT_INJECTED = "fault_injected"
 CACHE_QUARANTINE = "cache_quarantine"
+CACHE_EVICT = "cache_evict"
 JOURNAL_HIT = "journal_hit"
 DEADLINE_EXPIRED = "deadline_expired"
+#: A drain request (SIGTERM/SIGINT, serve cancel) short-circuited this
+#: job before it ran; its verdict is UNKNOWN and is never cached.
+JOB_CANCELLED = "job_cancelled"
 
 
 @dataclass
@@ -112,8 +116,12 @@ class FarmSummary:
     faults_injected: int = 0
     #: Corrupt cache entries quarantined and recomputed.
     cache_quarantined: int = 0
+    #: Entries the LRU policy removed to respect the cache byte cap.
+    cache_evictions: int = 0
     #: Obligations replayed from a resume journal.
     journal_hits: int = 0
+    #: Obligations short-circuited by a drain request.
+    cancelled: int = 0
     worker_seconds: float = 0.0
     max_queue_depth: int = 0
     #: The slowest executed jobs, as (label, wall seconds), slowest first.
@@ -150,8 +158,12 @@ class FarmSummary:
                 summary.faults_injected += 1
             elif event.kind == CACHE_QUARANTINE:
                 summary.cache_quarantined += 1
+            elif event.kind == CACHE_EVICT:
+                summary.cache_evictions += 1
             elif event.kind == JOURNAL_HIT:
                 summary.journal_hits += 1
+            elif event.kind == JOB_CANCELLED:
+                summary.cancelled += 1
             if event.queue_depth > summary.max_queue_depth:
                 summary.max_queue_depth = event.queue_depth
         timed.sort(key=lambda pair: -pair[1])
@@ -188,6 +200,14 @@ class FarmSummary:
         if self.journal_hits:
             lines.append(
                 f"replayed from journal:  {self.journal_hits}"
+            )
+        if self.cache_evictions:
+            lines.append(
+                f"cache entries evicted (LRU): {self.cache_evictions}"
+            )
+        if self.cancelled:
+            lines.append(
+                f"cancelled by drain request: {self.cancelled}"
             )
         if self.retries or self.worker_crashes or self.timeouts \
                 or self.abandoned or self.faults_injected \

@@ -25,12 +25,39 @@ None`` tests.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.faults.plan import FaultPlan, FaultRule
 
 DEFAULT_MAX_RETRIES = 2
+
+
+class ShutdownToken:
+    """A one-way drain signal shared by a farm and its workers.
+
+    Once requested (SIGTERM/SIGINT handler, a serve-side cancel), the
+    obligation currently executing on each worker finishes normally,
+    every *not-yet-started* obligation short-circuits to an UNKNOWN
+    verdict — inconclusive, so it is never cached or journaled and a
+    resumed run re-checks it — and the pools wind down without
+    orphaning processes.  The token is monotonic: there is no way to
+    un-request a drain, which keeps the worker-side check a single
+    lock-free ``Event.is_set``.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def request(self) -> None:
+        self._event.set()
+
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
 
 
 @dataclass
@@ -51,6 +78,8 @@ class ResilienceConfig:
     retry_max_delay: float = 2.0
     #: The (disabled-by-default) fault-injection plan; None = no hooks.
     faults: FaultPlan | None = None
+    #: Cooperative drain signal; None = this farm cannot be drained.
+    shutdown: ShutdownToken | None = field(default=None, repr=False)
     #: Monotonic timestamp the chain budget expires at; armed lazily.
     deadline_at: float | None = field(default=None, repr=False)
     #: Whether the one-per-run ``deadline_expired`` event fired yet.
@@ -69,6 +98,9 @@ class ResilienceConfig:
             self.deadline_at is not None
             and time.monotonic() >= self.deadline_at
         )
+
+    def shutdown_requested(self) -> bool:
+        return self.shutdown is not None and self.shutdown.requested
 
     def report_expiry_once(self) -> bool:
         """True exactly once per run, so the workers emit a single

@@ -54,6 +54,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import (
     ArmadaError,
+    InconclusiveCheck,
     ObligationTimeout,
     TransientFault,
     WorkerCrash,
@@ -64,6 +65,7 @@ from repro.farm.events import (
     DEADLINE_EXPIRED,
     FAULT_INJECTED,
     JOB_ABANDONED,
+    JOB_CANCELLED,
     JOB_FINISHED,
     JOB_QUEUED,
     JOB_RETRY,
@@ -128,6 +130,30 @@ def _abandoned_verdict(attempts: int, reason: str) -> Verdict:
     )
 
 
+def _cancelled_verdict() -> Verdict:
+    """UNKNOWN, not TIMEOUT: the obligation never ran.  Inconclusive
+    verdicts are never cached or journaled, so a drained obligation is
+    re-checked by the next (resumed) run."""
+    return Verdict(
+        UNKNOWN,
+        {"error": "cancelled: shutdown requested before this "
+                  "obligation ran"},
+    )
+
+
+def _cancel_job(job: Job, events: EventLog,
+                tracker: _DepthTracker) -> None:
+    """Short-circuit one job a drain request left unstarted."""
+    job.result = _inconclusive_result(job, _cancelled_verdict())
+    job.finished = True
+    events.emit(JOB_CANCELLED, job.key, job.label,
+                detail="shutdown requested")
+    if OBS.enabled:
+        OBS.count("farm.cancelled")
+    depth = tracker.finish_one()
+    events.emit(JOB_FINISHED, job.key, job.label, queue_depth=depth)
+
+
 def _inconclusive_result(job: Job, verdict: Verdict):
     """Inconclusive outcome in the shape the job's ``apply`` expects.
 
@@ -137,7 +163,7 @@ def _inconclusive_result(job: Job, verdict: Verdict):
     if job.wrap_errors:
         return verdict
     detail = (verdict.counterexample or {}).get("error", verdict.status)
-    return ArmadaError(str(detail))
+    return InconclusiveCheck(str(detail))
 
 
 def _call_with_deadline(fn, budget: float | None):
@@ -228,6 +254,13 @@ def _run_one(job: Job, events: EventLog, tracker: _DepthTracker,
             OBS.observe("farm.queue_wait_seconds",
                         time.perf_counter() - queued_at)
     while True:
+        if res is not None and res.shutdown_requested():
+            job.result = _inconclusive_result(job, _cancelled_verdict())
+            events.emit(JOB_CANCELLED, job.key, job.label,
+                        detail="shutdown requested")
+            if traced:
+                OBS.count("farm.cancelled")
+            break
         if res is not None and res.chain_expired():
             detail = (
                 f"chain deadline budget ({res.chain_deadline:g}s) "
@@ -526,6 +559,9 @@ def _run_process_mode(
                                   float]] = []
             pool_broken = False
             for job in batch:
+                if res is not None and res.shutdown_requested():
+                    _cancel_job(job, events, tracker)
+                    continue
                 if res is not None and res.chain_expired():
                     _chain_budget_expired(job, events, tracker, res)
                     continue

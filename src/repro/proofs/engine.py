@@ -21,7 +21,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ArmadaError, ProofFailure, StrategyError
+from repro.errors import (
+    ArmadaError,
+    InconclusiveCheck,
+    ProofFailure,
+    StrategyError,
+)
 from repro.farm import VerificationFarm, global_check_job, lemma_jobs
 from repro.farm.scheduler import Job
 from repro.lang import asts as ast
@@ -54,6 +59,11 @@ class ProofOutcome:
     #: proof is *inconclusive* — not refuted — and a re-run with a
     #: bigger deadline or a healthier farm may still settle it.
     inconclusive: bool = False
+    #: Reused wholesale from an outcome cache (incremental
+    #: re-verification): neither levels, recipe, prover budget, nor
+    #: toolchain changed since this outcome was computed, so no
+    #: obligation was re-discharged.
+    from_cache: bool = False
 
     @property
     def generated_sloc(self) -> int:
@@ -126,6 +136,9 @@ class _PreparedProof:
     outcome: ProofOutcome | None = None
     refinement_checked: bool = False
     validation_error: str | None = None
+    #: The validation obligation never settled (drain/deadline): the
+    #: proof is inconclusive, not failed.
+    validation_inconclusive: bool = False
     prepare_seconds: float = 0.0
     jobs: list[Job] = field(default_factory=list)
 
@@ -143,6 +156,7 @@ class ProofEngine:
         farm: VerificationFarm | None = None,
         analyze: bool = False,
         por: bool = False,
+        outcome_cache: "object | None" = None,
     ) -> None:
         """``validate_refinement``: ``"always"`` runs the whole-program
         bounded simulation check for every pair, ``"auto"`` only when a
@@ -165,6 +179,16 @@ class ProofEngine:
         configurations that reduction elides (see
         :mod:`repro.explore.por`).  The choice is part of the farm
         cache fingerprint, so reduced and unreduced verdicts never mix.
+
+        ``outcome_cache``: an object with ``get(key) -> ProofOutcome |
+        None`` and ``put(key, outcome)`` (see
+        :class:`repro.serve.incremental.OutcomeCache`).  When a proof's
+        :meth:`proof_key` hits, the stored outcome is reused wholesale
+        — no script generation, no obligation discharge, no
+        whole-program check — which is how ``armada serve`` re-verifies
+        only the proofs a resubmission invalidated.  Only *settled*
+        outcomes (verified, or failed with a refutation) are stored:
+        an inconclusive outcome must be retried, never pinned.
         """
         self.checked = checked
         self.prover = prover or Prover()
@@ -174,6 +198,8 @@ class ProofEngine:
         self.farm = farm or VerificationFarm()
         self.analyze = analyze
         self.por = por
+        self.outcome_cache = outcome_cache
+        self._level_fingerprints: dict[str, str] = {}
         self._machines: dict[str, StateMachine] = {}
         self._analyses: dict[str, "object"] = {}
         self._analysis_notes: list[str] = []
@@ -336,35 +362,100 @@ class ProofEngine:
             f"|por={'on' if self.por else 'off'}|{domain_part}"
         )
 
+    def level_fingerprint(self, level_name: str) -> str:
+        """Position-free fingerprint of one level's machine semantics.
+
+        The rendered definitions cover PCs, datatypes, and step
+        effects; global initial values are appended separately because
+        the renderer omits them.  This is the unit of incremental
+        re-verification: a proof's cache keys change exactly when one
+        of its two levels' fingerprints does, so editing one level of a
+        chain invalidates only the proofs that touch it.
+        """
+        cached = self._level_fingerprints.get(level_name)
+        if cached is not None:
+            return cached
+        from repro.farm.cache import structural_hash
+        from repro.lang.astutil import expr_to_str
+        from repro.proofs.render import render_machine_definitions
+
+        ctx = self.checked.contexts.get(level_name)
+        if ctx is None:
+            raise ProofFailure(f"unknown level {level_name}")
+        inits = [
+            f"{g.name}:"
+            f"{expr_to_str(g.init) if g.init is not None else '*'}"
+            for g in ctx.level.globals
+        ]
+        fingerprint = structural_hash(
+            "machine-level",
+            level_name,
+            "\n".join(render_machine_definitions(self.machine(level_name))),
+            inits,
+        )
+        self._level_fingerprints[level_name] = fingerprint
+        return fingerprint
+
+    def level_fingerprints(self) -> dict[str, str]:
+        """Fingerprints for every level of the program, by name — what
+        the serve daemon diffs against its index to decide which
+        proofs a resubmission invalidated."""
+        return {
+            level.name: self.level_fingerprint(level.name)
+            for level in self.checked.program.levels
+        }
+
     def _machine_fingerprint(self, proof: ast.ProofDecl) -> str:
-        """Position-free fingerprint of both levels' semantics.
+        """Fingerprint of both levels' semantics.
 
         Reachability-based obligations (rely-guarantee path lemmas,
         ownership predicates, phase invariants) quantify over the whole
         machine's reachable states, not only over the text of their
         lemma, so the cache key must change whenever either machine
-        does.  The rendered definitions cover PCs, datatypes, and step
-        effects; global initial values are appended separately because
-        the renderer omits them.
+        does.
         """
         from repro.farm.cache import structural_hash
-        from repro.lang.astutil import expr_to_str
-        from repro.proofs.render import render_machine_definitions
 
-        parts: list[object] = []
-        for level_name in (proof.low_level, proof.high_level):
-            ctx = self.checked.contexts[level_name]
-            inits = [
-                f"{g.name}:"
-                f"{expr_to_str(g.init) if g.init is not None else '*'}"
-                for g in ctx.level.globals
-            ]
-            parts.append(level_name)
-            parts.append(
-                "\n".join(render_machine_definitions(self.machine(level_name)))
-            )
-            parts.append(inits)
-        return structural_hash("machine-pair", *parts)
+        return structural_hash(
+            "machine-pair",
+            self.level_fingerprint(proof.low_level),
+            self.level_fingerprint(proof.high_level),
+        )
+
+    def proof_key(self, proof: ast.ProofDecl) -> str:
+        """Content address of one proof's *entire outcome*.
+
+        Covers everything that can change any verdict the proof
+        produces: both machines' semantics (level fingerprints), the
+        full recipe (strategy, arguments, every directive — lemma
+        customizations included), the prover/exploration configuration
+        (:meth:`_job_fingerprint`, which also covers POR and domains),
+        the refinement-validation policy (it decides whether the
+        whole-program check runs), and the toolchain version.  Two runs
+        with equal keys perform byte-identical obligation checks, so
+        reusing the stored :class:`ProofOutcome` — the basis of
+        ``armada serve``'s incremental re-verification — is sound even
+        for the whole-program bounded checks the lemma cache cannot
+        cover.
+        """
+        from repro.farm.cache import code_version, structural_hash
+
+        recipe = [
+            (item.name, list(item.args)) for item in proof.items
+        ]
+        return structural_hash(
+            "proof-outcome",
+            proof.name,
+            proof.low_level,
+            proof.high_level,
+            recipe,
+            self.level_fingerprint(proof.low_level),
+            self.level_fingerprint(proof.high_level),
+            self._job_fingerprint(),
+            self.validate_refinement,
+            "analyze" if self.analyze else "no-analyze",
+            code_version(),
+        )
 
     def _schedule(self, prep: _PreparedProof) -> list[Job]:
         """Collect this proof's checkable units into farm jobs."""
@@ -411,6 +502,9 @@ class ProofEngine:
         def apply(result) -> None:
             if isinstance(result, ArmadaError):
                 prep.validation_error = str(result)
+                prep.validation_inconclusive = isinstance(
+                    result, InconclusiveCheck
+                )
                 return
             script.add(
                 Lemma(
@@ -462,6 +556,7 @@ class ProofEngine:
             return ProofOutcome(
                 proof.name, proof.strategy.name, False, None,
                 prep.validation_error, False, elapsed,
+                inconclusive=prep.validation_inconclusive,
             )
         failed = script.failed_lemmas()
         if failed:
@@ -541,17 +636,33 @@ class ProofEngine:
         proofs are collected into one farm batch, so a multi-worker
         farm parallelises across the entire chain.
         """
+        import dataclasses
+
         levels = self.checked.program.levels
         chain_name = levels[0].name if levels else "chain"
         with OBS.span(chain_name, "chain",
                       levels=len(levels),
                       proofs=len(self.checked.program.proofs)):
-            preps = [
-                self._prepare(proof)
-                for proof in self.checked.program.proofs
-            ]
+            # Incremental re-verification: a proof whose outcome key
+            # hits the cache is reused wholesale — its levels, recipe,
+            # prover budget, and toolchain are all unchanged, so
+            # re-running it would perform byte-identical checks.  Only
+            # the invalidated proofs are prepared and discharged.
+            entries: list[tuple[_PreparedProof | None, ProofOutcome | None]] = []
             batch: list[Job] = []
-            for prep in preps:
+            for proof in self.checked.program.proofs:
+                reused = None
+                if self.outcome_cache is not None:
+                    reused = self.outcome_cache.get(self.proof_key(proof))
+                if reused is not None:
+                    entries.append((None, dataclasses.replace(
+                        reused, from_cache=True, elapsed_seconds=0.0,
+                    )))
+                    if OBS.enabled:
+                        OBS.count("engine.proofs_reused")
+                    continue
+                prep = self._prepare(proof)
+                entries.append((prep, None))
                 if prep.outcome is None:
                     batch.extend(self._schedule(prep))
             self.farm.discharge(batch)
@@ -559,8 +670,19 @@ class ProofEngine:
             analysis_notes=list(self._analysis_notes),
             por_summary=self._por_summary(),
         )
-        for prep in preps:
-            chain_outcome.outcomes.append(self._finalize(prep))
+        for prep, reused in entries:
+            if reused is not None:
+                chain_outcome.outcomes.append(reused)
+                continue
+            outcome = self._finalize(prep)
+            chain_outcome.outcomes.append(outcome)
+            # Inconclusive outcomes (timeouts, drains, abandoned
+            # obligations) are environment-dependent and must be
+            # retried by the next run, never pinned.
+            if self.outcome_cache is not None and not outcome.inconclusive:
+                self.outcome_cache.put(
+                    self.proof_key(prep.proof), outcome
+                )
         chain, chain_error = self._compose_chain()
         chain_outcome.chain = chain
         chain_outcome.chain_error = chain_error

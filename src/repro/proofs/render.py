@@ -136,8 +136,8 @@ def render_machine_definitions(machine: StateMachine) -> list[str]:
     lines.append(f"datatype Step_{name} =")
     for step in machine.all_steps():
         fields = ", ".join(
-            f"{_param_field_name(v.key)}: {render_type(v.type)}"
-            for v in step.nondet_vars()
+            f"{_param_field_name(v.key, i)}: {render_type(v.type)}"
+            for i, v in enumerate(step.nondet_vars())
         )
         lines.append(f"  | {step_constructor_name(step)}({fields})")
     # One next-function per step (program-specific semantics).
@@ -165,8 +165,11 @@ def render_machine_definitions(machine: StateMachine) -> list[str]:
     return lines
 
 
-def _param_field_name(key) -> str:
+def _param_field_name(key, index: int) -> str:
     if isinstance(key, tuple):
         return "_".join(str(part).replace("#", "_") for part in key
                         if not isinstance(part, int) or True)
-    return f"nd_{key}"
+    # Expression-nondet keys are id()-based (process-local); naming the
+    # field by position keeps the rendered text identical across
+    # translations, which content-addressed caching depends on.
+    return f"nd_{index}"

@@ -342,3 +342,291 @@ class TestMachineFingerprint:
         commented = "// formatting-only change\n" + source
         summary = self._verify(commented, cache_dir)
         assert summary.cache_hits > 0
+
+
+class TestCacheEviction:
+    """Byte cap + LRU eviction (``--cache-max-bytes``)."""
+
+    def _key(self, i):
+        return lemma_job_key(Lemma(f"L{i}", "s", ["b"]), "pf")
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ProofCache(tmp_path / "c")
+        for i in range(50):
+            cache.put(self._key(i), Verdict("proved"))
+        assert len(cache) == 50
+        assert cache.evictions == 0
+
+    def test_cap_evicts_down_to_hysteresis(self, tmp_path):
+        cache = ProofCache(tmp_path / "c")
+        cache.put(self._key(0), Verdict("proved"))
+        entry_size = cache.total_bytes()
+        assert entry_size > 0
+
+        capped = ProofCache(tmp_path / "c2", max_bytes=entry_size * 10)
+        for i in range(50):
+            capped.put(self._key(i), Verdict("proved"))
+        assert capped.total_bytes() <= entry_size * 10
+        # Hysteresis: eviction overshoots to ~90% of the cap so every
+        # store does not re-trigger a directory walk.
+        assert capped.evictions > 0
+        assert capped.evicted_bytes == capped.evictions * entry_size
+        assert len(capped) < 50
+
+    def test_eviction_is_least_recently_used(self, tmp_path):
+        import os as _os
+
+        cache = ProofCache(tmp_path / "c", max_bytes=None)
+        keys = [self._key(i) for i in range(4)]
+        for age, key in enumerate(keys):
+            cache.put(key, Verdict("proved"))
+            # Millisecond-resolution filesystems can't order four puts
+            # in one tick; set mtimes explicitly (oldest first).
+            _os.utime(cache._path(key), (1000 + age, 1000 + age))
+        # Touch the oldest entry: a hit refreshes recency.
+        assert cache.get(keys[0]) is not None
+        entry_size = cache.total_bytes() // 4
+        cache.max_bytes = entry_size * 3  # forces eviction on next put
+        cache.put(self._key(99), Verdict("proved"))
+        assert cache.get(keys[0]) is not None   # refreshed, survives
+        assert cache.get(keys[1]) is None       # oldest mtime, evicted
+        assert cache.evictions >= 1
+
+    def test_evicted_entry_recomputes(self, tmp_path):
+        counter = []
+        cache_dir = tmp_path / "c"
+        farm = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        script, _ = make_script(counter=counter)
+        farm.discharge(lemma_jobs(script, "pf"))
+        assert counter == [1]
+        entry_size = farm.cache.total_bytes()
+
+        # A one-entry cap: storing anything else evicts the verdict.
+        capped = VerificationFarm(FarmConfig(
+            cache_dir=cache_dir, cache_max_bytes=entry_size,
+        ))
+        other, _ = make_script("assert y > 1;", counter)
+        capped.discharge(lemma_jobs(other, "pf"))
+        assert counter == [1, 1]
+        assert capped.cache.evictions >= 1
+
+        # The original obligation is simply recomputed on its miss.
+        again, _ = make_script(counter=counter)
+        VerificationFarm(FarmConfig(cache_dir=cache_dir)).discharge(
+            lemma_jobs(again, "pf")
+        )
+        assert len(counter) == 3
+        assert again.lemmas[0].verdict.ok
+
+    def test_farm_report_shows_evictions(self, tmp_path):
+        farm = VerificationFarm(FarmConfig(
+            cache_dir=tmp_path / "c", cache_max_bytes=1,
+        ))
+        script, _ = make_script()
+        farm.discharge(lemma_jobs(script, "pf"))
+        assert farm.cache.evictions >= 1
+        report = "\n".join(farm.report_lines())
+        assert "evicted" in report
+        summary = farm.summary()
+        assert summary.cache_evictions >= 1
+        assert any("evicted" in line
+                   for line in summary.report_lines())
+
+
+class TestSharedCacheConcurrency:
+    """Two farm instances over one cache directory at once: the
+    multi-tenant shape the serve daemon relies on."""
+
+    def _chain_jobs(self, counter, n=12):
+        scripts = []
+        jobs = []
+        for i in range(n):
+            script = ProofScript(f"P{i}", "weakening", "Low", "High")
+
+            def obligation(i=i):
+                counter.append(i)
+                return proved()
+
+            script.add(Lemma(f"L{i}", f"claim {i}", [f"assert {i};"],
+                             obligation=obligation))
+            scripts.append(script)
+            jobs.append(lemma_jobs(script, "pf"))
+        return scripts, jobs
+
+    def test_concurrent_farms_no_torn_reads(self, tmp_path):
+        import threading
+
+        counter = []
+        scripts_a, jobs_a = self._chain_jobs(counter)
+        scripts_b, jobs_b = self._chain_jobs(counter)
+        farm_a = VerificationFarm(FarmConfig(cache_dir=tmp_path / "c"))
+        farm_b = VerificationFarm(FarmConfig(cache_dir=tmp_path / "c"))
+
+        def run(farm, batches):
+            for batch in batches:
+                farm.discharge(batch)
+
+        threads = [
+            threading.Thread(target=run, args=(farm_a, jobs_a)),
+            threading.Thread(target=run, args=(farm_b, jobs_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every lemma settled PROVED in both farms; a torn read would
+        # have quarantined (miss, recompute) — never a wrong verdict.
+        for script in scripts_a + scripts_b:
+            assert script.lemmas[0].verdict.ok
+        # At most one obligation run per distinct lemma *per farm*; the
+        # overlap (second farm hitting the first's stores) is timing-
+        # dependent, but the total can never exceed one run each.
+        assert len(counter) <= 24
+        assert farm_a.cache.quarantined == 0
+        assert farm_b.cache.quarantined == 0
+
+        # A third, sequential farm discharges everything by file read.
+        scripts_c, jobs_c = self._chain_jobs(counter)
+        before = len(counter)
+        farm_c = VerificationFarm(FarmConfig(cache_dir=tmp_path / "c"))
+        for batch in jobs_c:
+            farm_c.discharge(batch)
+        assert len(counter) == before
+        assert farm_c.summary().cache_hits == 12
+
+    def test_quarantine_self_heals_under_contention(self, tmp_path):
+        import threading
+
+        counter = []
+        cache_dir = tmp_path / "c"
+        seed_script, _ = make_script(counter=counter)
+        seeder = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        seeder.discharge(lemma_jobs(seed_script, "pf"))
+        [key] = [j.key for j in lemma_jobs(seed_script, "pf")]
+        # Corrupt the stored entry on disk (crashed-writer torso).
+        seeder.cache._path(key).write_bytes(b"torn garbage")
+
+        farms = [
+            VerificationFarm(FarmConfig(cache_dir=cache_dir))
+            for _ in range(2)
+        ]
+        scripts = []
+
+        def run(farm):
+            script, _ = make_script(counter=counter)
+            scripts.append(script)
+            farm.discharge(lemma_jobs(script, "pf"))
+
+        threads = [threading.Thread(target=run, args=(f,))
+                   for f in farms]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Both contenders settled correctly despite the bad entry:
+        # whoever read it first quarantined and recomputed; the other
+        # either recomputed too or hit the healed re-store.
+        for script in scripts:
+            assert script.lemmas[0].verdict.ok
+        assert sum(f.cache.quarantined for f in farms) >= 1
+        # The cache healed: a fresh farm discharges by file read.
+        healed_script, _ = make_script(counter=counter)
+        healed = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        before = len(counter)
+        healed.discharge(lemma_jobs(healed_script, "pf"))
+        assert len(counter) == before
+        assert healed_script.lemmas[0].verdict.ok
+
+
+class TestGracefulDrain:
+    """request_shutdown(): in-flight obligations finish, queued ones
+    short-circuit to UNKNOWN — inconclusive, never cached."""
+
+    def _scripts(self, farm, counter, n=6):
+        scripts = []
+        jobs = []
+        for i in range(n):
+            script = ProofScript(f"P{i}", "weakening", "Low", "High")
+
+            def obligation(i=i):
+                counter.append(i)
+                if i == 1:
+                    farm.request_shutdown()
+                return proved()
+
+            script.add(Lemma(f"L{i}", f"claim {i}", [f"assert {i};"],
+                             obligation=obligation))
+            scripts.append(script)
+            jobs.extend(lemma_jobs(script, "pf"))
+        return scripts, jobs
+
+    def test_drain_short_circuits_queued_jobs(self):
+        from repro.farm import JOB_CANCELLED
+
+        farm = VerificationFarm()
+        counter = []
+        scripts, jobs = self._scripts(farm, counter)
+        farm.discharge(jobs)
+        # Obligation 1 requested the drain mid-run and still finished
+        # (in-flight work completes); everything after it never ran.
+        assert counter == [0, 1]
+        assert scripts[0].lemmas[0].verdict.ok
+        assert scripts[1].lemmas[0].verdict.ok
+        for script in scripts[2:]:
+            verdict = script.lemmas[0].verdict
+            assert verdict.inconclusive
+            assert not verdict.ok
+            assert "cancelled" in str(verdict.counterexample)
+        cancelled = farm.events.events(JOB_CANCELLED)
+        assert len(cancelled) == 4
+        assert farm.summary().cancelled == 4
+        assert "cancelled by drain request" in "\n".join(
+            farm.summary().report_lines()
+        )
+
+    def test_drained_verdicts_never_cached(self, tmp_path):
+        counter = []
+        cache_dir = tmp_path / "c"
+        farm = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        scripts, jobs = self._scripts(farm, counter)
+        farm.discharge(jobs)
+        assert counter == [0, 1]
+
+        # A fresh farm (no drain this time) re-checks exactly the
+        # cancelled obligations: the two settled verdicts hit the
+        # cache, the four cancelled ones re-run.
+        counter3 = []
+        fresh = VerificationFarm(FarmConfig(cache_dir=cache_dir))
+        scripts3 = []
+        batch = []
+        for i in range(6):
+            script = ProofScript(f"P{i}", "weakening", "Low", "High")
+
+            def obligation(i=i):
+                counter3.append(i)
+                return proved()
+
+            script.add(Lemma(f"L{i}", f"claim {i}", [f"assert {i};"],
+                             obligation=obligation))
+            scripts3.append(script)
+            batch.extend(lemma_jobs(script, "pf"))
+        fresh.discharge(batch)
+        assert sorted(counter3) == [2, 3, 4, 5]
+        for script in scripts3:
+            assert script.lemmas[0].verdict.ok
+
+    def test_drain_flushes_journal_with_settled_only(self, tmp_path):
+        from repro.farm import Journal
+
+        farm = VerificationFarm(FarmConfig(
+            journal_path=tmp_path / "j.jsonl",
+        ))
+        counter = []
+        scripts, jobs = self._scripts(farm, counter)
+        farm.discharge(jobs)
+        farm.close()
+        journal = Journal(tmp_path / "j.jsonl")
+        # Only the two settled verdicts were journaled; cancelled
+        # (inconclusive) obligations must be re-checked on resume.
+        assert len(journal) == 2
+        journal.close()
