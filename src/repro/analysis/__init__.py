@@ -76,6 +76,8 @@ class AnalysisResult:
     dynamic: DynamicScan | None
     verdicts: dict[str, LocationVerdict]
     suggestions: list[OwnershipSuggestion] = field(default_factory=list)
+    #: Name of the memory model the verdicts were computed under.
+    memory_model: str = "tso"
 
     # ------------------------------------------------------------------
 
@@ -116,6 +118,7 @@ class AnalysisResult:
         stats: dict = {
             "globals": len(self.verdicts),
             "accesses": len(self.access_map.all),
+            "memory_model": self.memory_model,
         }
         if self.dynamic is not None and self.dynamic.ran:
             stats["dynamic_states"] = self.dynamic.states_visited
@@ -131,23 +134,37 @@ def analyze_level(
     max_states: int = 200_000,
     dynamic: bool = True,
     suggest: bool = True,
+    memory_model: str | None = None,
 ) -> AnalysisResult:
     """Run the full analysis pipeline over one level.
 
     ``dynamic=False`` skips the bounded cross-check (purely static
     verdicts: statically racy locations stay RACY/unchecked).
+
+    ``memory_model`` selects the model the level's machine runs under
+    (default ``tso``); a supplied *machine*'s own model wins.  Race
+    classification is model-generic — the dynamic scan walks whichever
+    state space the model induces — but the weak-memory sensitivity
+    pass is per-model: under ``sc`` no store is ever delayed, so no
+    location is flagged; under ``tso`` and ``ra`` the store-load
+    (SB-shape) witness search runs, since both models observably delay
+    plain stores past later loads.
     """
     if machine is None:
         from repro.machine.translator import translate_level
 
-        machine = translate_level(ctx)
+        machine = translate_level(ctx, memory_model=memory_model)
+    model_name = machine.memmodel.name
     access_map = extract_accesses(ctx, machine)
     locksets = compute_locksets(machine, access_map)
     scan = (
         run_dynamic_scan(ctx, machine, access_map, max_states)
         if dynamic else None
     )
-    verdicts = classify(ctx, machine, access_map, locksets, scan)
+    verdicts = classify(
+        ctx, machine, access_map, locksets, scan,
+        memory_model=model_name,
+    )
     suggestions = (
         suggest_ownership(ctx, machine, access_map, verdicts, max_states)
         if suggest else []
@@ -161,4 +178,5 @@ def analyze_level(
         dynamic=scan,
         verdicts=verdicts,
         suggestions=suggestions,
+        memory_model=model_name,
     )

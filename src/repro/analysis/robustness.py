@@ -332,13 +332,25 @@ def classify(
     access_map: AccessMap,
     locksets: LocksetResult,
     dynamic: DynamicScan | None = None,
+    memory_model: str = "tso",
 ) -> dict[str, LocationVerdict]:
-    """Combine all passes into one verdict per non-ghost global."""
+    """Combine all passes into one verdict per non-ghost global.
+
+    The race classification itself is memory-model-generic (the dynamic
+    scan already walked the state space *of the selected model*), but
+    the weak-memory sensitivity flags are per-model: under ``sc``
+    stores commit in place, the SB reordering cannot occur, and no
+    location is flagged; ``tso`` and ``ra`` both delay plain stores
+    past later loads of other locations, so the same store-load witness
+    search applies to either.
+    """
     verdicts: dict[str, LocationVerdict] = {}
     for name, decl in ctx.globals.items():
         if decl.ghost:
             continue
         verdicts[name] = _classify_one(name, access_map, locksets, dynamic)
+    if memory_model == "sc":
+        return verdicts
     # Only locations that remain RACY can have buffered stores whose
     # delay is observable: an ORDERED location is never concurrently
     # observed, so nothing can see its stores arrive late.

@@ -121,6 +121,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         checked, max_states=args.max_states,
         validate_refinement=args.validate, farm=farm,
         analyze=args.analyze, por=args.por,
+        memory_model=args.memory_model,
     )
     if args.trace:
         try:
@@ -264,7 +265,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"no level named {level} (levels: {names})",
               file=sys.stderr)
         return 1
-    machine = translate_level(ctx)
+    machine = translate_level(ctx, memory_model=args.memory_model)
     invariants = {
         src: _invariant_predicate(ctx, machine, src)
         for src in (args.invariant or [])
@@ -280,6 +281,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
         payload = {
             "level": level,
+            "memory_model": machine.memmodel.name,
             "states": result.states_visited,
             "transitions": result.transitions_taken,
             "outcomes": [
@@ -372,6 +374,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         ctx,
         max_states=args.max_states,
         dynamic=not args.no_dynamic,
+        memory_model=args.memory_model,
     )
     report = result.report()
     print(report.to_json() if args.json else report.render_text())
@@ -586,7 +589,10 @@ def _print_terminal_result(response: dict, as_json: bool) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     client = _serve_client(args)
     source = _read_source(args.file)
-    options: dict = {"max_states": args.max_states}
+    options: dict = {
+        "max_states": args.max_states,
+        "memory_model": args.memory_model,
+    }
     if args.kind == "verify":
         options["validate"] = args.validate
         options["analyze"] = args.analyze
@@ -674,6 +680,56 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    from repro.memmodel import MODELS
+    from repro.memmodel.litmus import CORPUS, check_matrix
+
+    models = tuple(args.model) if args.model else tuple(sorted(MODELS))
+    for model in models:
+        if model not in MODELS:
+            valid = ", ".join(sorted(MODELS))
+            print(f"armada: unknown memory model {model!r} "
+                  f"(valid: {valid})", file=sys.stderr)
+            return 1
+    tests = tuple(args.test) if args.test else None
+    known = {t.name for t in CORPUS}
+    for name in tests or ():
+        if name not in known:
+            valid = ", ".join(t.name for t in CORPUS)
+            print(f"armada: unknown litmus test {name!r} "
+                  f"(valid: {valid})", file=sys.stderr)
+            return 1
+    rows = check_matrix(models=models, tests=tests)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        for row in rows:
+            weak = "allowed" if row["weak_observed"] else "forbidden"
+            expected = (
+                "allowed" if row["weak_expected"] else "forbidden"
+            )
+            mark = "ok" if row["ok"] else "MISMATCH"
+            print(f"{row['test']:<10} {row['model']:<4} "
+                  f"weak outcome {weak} (expected {expected}) "
+                  f"[{mark}]")
+    bad = [row for row in rows if not row["ok"]]
+    if bad:
+        print(f"litmus: {len(bad)} row(s) deviate from the expected "
+              "allowed/forbidden table", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _add_memory_model_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--memory-model", choices=("sc", "tso", "ra"), default="tso",
+        help="memory model the machine semantics run under "
+             "(default: %(default)s; part of every proof-cache key)",
+    )
+
+
 def _add_connection_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--socket", default=None, metavar="PATH",
@@ -705,6 +761,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="run every proof recipe in a file")
     p.add_argument("file")
     p.add_argument("--max-states", type=int, default=200_000)
+    _add_memory_model_flag(p)
     p.add_argument(
         "--validate", choices=("auto", "always", "never"), default="auto",
         help="whole-program bounded refinement validation policy",
@@ -797,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--level", default=None,
                    help="level to explore (default: first)")
     p.add_argument("--max-states", type=int, default=200_000)
+    _add_memory_model_flag(p)
     p.add_argument(
         "--por", action=argparse.BooleanOptionalAction, default=True,
         help="ample-set partial-order reduction (default: on; "
@@ -824,6 +882,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--level", default=None,
                    help="level to analyze (default: first)")
     p.add_argument("--max-states", type=int, default=200_000)
+    _add_memory_model_flag(p)
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON")
     p.add_argument(
@@ -840,6 +899,25 @@ def build_parser() -> argparse.ArgumentParser:
              "(use '' to assert race-freedom)",
     )
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "litmus",
+        help="run the litmus corpus (SB, MP, LB, IRIW, ...) across "
+             "memory models and check the allowed/forbidden table",
+    )
+    p.add_argument(
+        "--model", action="append", default=None,
+        choices=("sc", "tso", "ra"), metavar="NAME",
+        help="memory model to include (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--test", action="append", default=None, metavar="NAME",
+        help="litmus test to include (repeatable; default: the whole "
+             "corpus)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the matrix rows as JSON")
+    p.set_defaults(func=_cmd_litmus)
 
     p = sub.add_parser("compile", help="compile a level")
     p.add_argument("file")
@@ -935,6 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
              "fingerprint diffing (default: the file path)",
     )
     p.add_argument("--max-states", type=int, default=200_000)
+    _add_memory_model_flag(p)
     p.add_argument(
         "--validate", choices=("auto", "always", "never"),
         default="auto",

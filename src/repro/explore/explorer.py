@@ -102,6 +102,12 @@ class Explorer:
     ) -> None:
         self.machine = machine
         self.max_states = max_states
+        memmodel = getattr(machine, "memmodel", None)
+        if por and memmodel is not None and not memmodel.supports_por:
+            # The ample-set independence argument does not cover this
+            # model's environment moves (RA view advances); fall back
+            # to full expansion rather than prune unsoundly.
+            por = None
         if por is True:
             por = AmpleReducer(machine)
         self.reducer: AmpleReducer | None = por or None
@@ -213,8 +219,10 @@ class Explorer:
         traces, reconstructed from per-state parent pointers."""
         if not OBS.enabled:
             return self._explore(invariants, start)
+        memmodel = getattr(self.machine, "memmodel", None)
         with OBS.span("explore", "phase", level=self.machine.level_name,
-                      por=self.reducer is not None):
+                      por=self.reducer is not None,
+                      memory_model=memmodel.name if memmodel else "tso"):
             result = self._explore(invariants, start)
             OBS.count("explorer.states_admitted", result.states_visited)
             OBS.count("explorer.transitions_taken",

@@ -83,7 +83,7 @@ class EvalContext:
 
     __slots__ = (
         "ctx", "state", "tid", "method", "nondet", "old_state",
-        "bound", "mem_locals",
+        "bound", "mem_locals", "memmodel",
     )
 
     def __init__(
@@ -95,6 +95,7 @@ class EvalContext:
         nondet: dict[int, Any] | None = None,
         old_state: ProgramState | None = None,
         bound: dict[str, Any] | None = None,
+        memmodel: Any = None,
     ) -> None:
         self.ctx = ctx
         self.state = state
@@ -103,6 +104,9 @@ class EvalContext:
         self.nondet = nondet or {}
         self.old_state = old_state
         self.bound = bound or {}
+        #: The active MemoryModel, when the caller carries one (contexts
+        #: built without a model fall back to the inline TSO write path).
+        self.memmodel = memmodel
         mctx = ctx.method_contexts.get(method)
         self.mem_locals = (
             {n for n, info in mctx.locals.items() if info.address_taken}
@@ -119,6 +123,7 @@ class EvalContext:
         clone.old_state = self.old_state
         clone.bound = self.bound
         clone.mem_locals = self.mem_locals
+        clone.memmodel = self.memmodel
         return clone
 
 

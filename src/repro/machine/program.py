@@ -11,7 +11,7 @@ constraint of ``explicit_yield`` blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable
+from typing import Any, Iterable, TYPE_CHECKING
 
 from repro.errors import TranslationError
 from repro.lang import asts as ast
@@ -34,6 +34,9 @@ from repro.machine.values import (
     leaf_locations,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memmodel import MemoryModel
+
 
 @dataclass
 class PcInfo:
@@ -51,10 +54,11 @@ class PcInfo:
 @dataclass(frozen=True)
 class Transition:
     """One schedulable transition: a thread step (with its encapsulated
-    nondeterminism resolved) or a store-buffer drain."""
+    nondeterminism resolved) or a memory-model environment move (a TSO
+    store-buffer drain, an RA view advance)."""
 
     tid: int
-    step: Step | None  # None = store-buffer drain
+    step: Step | None  # None = environment move
     params: tuple[tuple[Any, Any], ...] = ()
 
     @property
@@ -66,6 +70,11 @@ class Transition:
 
     def describe(self) -> str:
         if self.is_drain:
+            if self.params:
+                detail = ",".join(
+                    f"{k}={v}" for k, v in self.params
+                )
+                return f"t{self.tid}:env:{detail}"
             return f"t{self.tid}:drain"
         return f"t{self.tid}:{self.step.pc}:{type(self.step).__name__}"
 
@@ -101,10 +110,20 @@ class DomainConfig:
 class StateMachine:
     """A translated Armada level: PCs, steps, and execution."""
 
-    def __init__(self, ctx: LevelContext, main_method: str = "main") -> None:
+    def __init__(
+        self,
+        ctx: LevelContext,
+        main_method: str = "main",
+        memory_model: "str | MemoryModel | None" = None,
+    ) -> None:
+        # Deferred import: repro.memmodel reaches back into
+        # repro.machine.state/pmap at module load.
+        from repro.memmodel import get_model
+
         self.ctx = ctx
         self.level_name = ctx.level.name
         self.main_method = main_method
+        self.memmodel: "MemoryModel" = get_model(memory_model)
         self.pcs: dict[str, PcInfo] = {}
         self.steps_by_pc: dict[str, list[Step]] = {}
         self.method_entry: dict[str, str] = {}
@@ -159,6 +178,7 @@ class StateMachine:
             next_tid=1,
             next_serial=1,
         )
+        state = self.memmodel.init_state(state)
         state, main_tid = self.spawn_thread(state, self.main_method, [], {})
         return state
 
@@ -275,6 +295,7 @@ class StateMachine:
         method: str,
         args: list[Any],
         params: dict,
+        parent_tid: int | None = None,
     ) -> tuple[ProgramState, int]:
         tid = state.next_tid
         state = replace(state, next_tid=tid + 1)
@@ -283,6 +304,10 @@ class StateMachine:
         thread = ThreadState(
             tid=tid, pc=self.method_entry[method], frames=(frame,)
         )
+        parent = (
+            state.threads.get(parent_tid) if parent_tid is not None else None
+        )
+        thread = self.memmodel.init_thread(thread, parent)
         state = state.with_thread(thread)
         return state, tid
 
@@ -360,13 +385,15 @@ class StateMachine:
         tids = sorted(state.threads.keys())
         if state.atomic_owner is not None:
             tids = [state.atomic_owner]
+        memmodel = self.memmodel
         for tid in tids:
             thread = state.threads[tid]
-            # Store-buffer drains are hardware write-backs: they remain
+            # Environment moves are asynchronous hardware effects (TSO
+            # write-backs, RA view advances); under TSO they remain
             # enabled even after the thread has terminated (a thread may
             # exit with pending stores that must still reach memory).
-            if thread.store_buffer:
-                transitions.append(Transition(tid, None))
+            for env_params in memmodel.env_moves(state, thread, self):
+                transitions.append(Transition(tid, None, env_params))
             if thread.terminated or thread.pc is None:
                 continue
             method = thread.top.method
@@ -397,7 +424,9 @@ class StateMachine:
         if not state.running:
             return state
         if transition.is_drain:
-            return state.drain_one(transition.tid)
+            return self.memmodel.apply_env(
+                state, transition.tid, transition.params
+            )
         try:
             return transition.step.apply(
                 self, state, transition.tid, transition.params_dict()

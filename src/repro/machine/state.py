@@ -66,12 +66,18 @@ class Frame:
 @dataclass(frozen=True, slots=True)
 class ThreadState:
     """A thread: program counter, stack (top frame first), and its FIFO
-    store buffer of pending (location, value) writes."""
+    store buffer of pending (location, value) writes.
+
+    ``view`` is the per-thread state of the release/acquire memory
+    model (Location -> observed timestamp); it is ``None`` under
+    SC/TSO, keeping those models' state equality untouched.
+    """
 
     tid: int
     pc: str | None  # None once the thread has terminated (returned)
     frames: tuple[Frame, ...] = ()
     store_buffer: tuple[tuple[Location, Any], ...] = ()
+    view: PMap | None = None
     _hash: int | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -129,6 +135,9 @@ class ProgramState:
     #: The thread currently inside an uninterruptible (atomic /
     #: explicit_yield) region, if any.  Other threads may not step.
     atomic_owner: int | None = None
+    #: Release/acquire write histories (Location -> tuple of
+    #: (value, message-view) records); ``None`` under SC/TSO.
+    histories: PMap | None = None
     _hash: int | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -157,12 +166,28 @@ class ProgramState:
     def append_log(self, entry: Any) -> "ProgramState":
         return replace(self, log=self.log + (entry,))
 
-    # -- TSO (§3.2.1) ----------------------------------------------------
+    # -- memory-model reads ----------------------------------------------
 
     def local_view(self, tid: int, location: Location) -> Any:
-        """A thread's local view of a memory cell: the youngest pending
-        store-buffer entry for that location, else global memory."""
+        """A thread's local view of a memory cell.
+
+        Under SC/TSO (``thread.view is None``): the youngest pending
+        store-buffer entry for that location, else global memory.
+        Under RA: the history record at the thread's current view
+        timestamp (locations never release-written fall back to plain
+        memory).
+        """
         thread = self.threads[tid]
+        if thread.view is not None:
+            hist = (
+                self.histories.get(location)
+                if self.histories is not None else None
+            )
+            if hist is not None:
+                return hist[thread.view.get(location, 0)][0]
+            if location not in self.memory:
+                raise UBSignal(f"access to unmapped location {location}")
+            return self.memory[location]
         for loc, value in reversed(thread.store_buffer):
             if loc == location:
                 return value
@@ -225,7 +250,9 @@ def _frame_hash(self: Frame) -> int:
 def _thread_hash(self: ThreadState) -> int:
     h = self._hash
     if h is None:
-        h = hash((self.tid, self.pc, self.frames, self.store_buffer))
+        h = hash((
+            self.tid, self.pc, self.frames, self.store_buffer, self.view,
+        ))
         object.__setattr__(self, "_hash", h)
     return h
 
@@ -236,7 +263,7 @@ def _program_hash(self: ProgramState) -> int:
         h = hash((
             self.threads, self.memory, self.allocation, self.ghosts,
             self.log, self.termination, self.next_tid,
-            self.next_serial, self.atomic_owner,
+            self.next_serial, self.atomic_owner, self.histories,
         ))
         object.__setattr__(self, "_hash", h)
     return h

@@ -45,6 +45,18 @@ from repro.machine.values import (
     default_value,
     leaf_locations,
 )
+#: Fallback for contexts without an attached model (legacy callers);
+#: resolved lazily because repro.memmodel imports repro.machine.state.
+_TSO = None
+
+
+def _default_model():
+    global _TSO
+    if _TSO is None:
+        from repro.memmodel import get_model
+
+        _TSO = get_model("tso")
+    return _TSO
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.program import StateMachine
@@ -87,10 +99,14 @@ def write_place(
 ) -> ProgramState:
     """Write *value* to *place*.
 
-    Shared-memory writes go through the thread's store buffer when
-    *buffered* (ordinary ``:=``), or directly to global memory for
-    TSO-bypassing ``::=`` writes.  Frame and ghost writes are always
-    direct.  Composite values decompose into leaf writes in order.
+    Shared-memory writes are committed by the active memory model: under
+    x86-TSO they go through the thread's store buffer when *buffered*
+    (ordinary ``:=``) or directly to global memory for bypassing ``::=``
+    writes; under SC always directly; under RA as release writes
+    appended to the location history.  Contexts without an attached
+    model (strategy/analysis evaluation) use the inline TSO path.
+    Frame and ghost writes are always direct.  Composite values
+    decompose into leaf writes in order.
     """
     tid = ec.tid
     if isinstance(place, MemoryPlace):
@@ -100,6 +116,8 @@ def write_place(
         if status is None and place.location.root.kind != "global":
             raise UBSignal(f"write to invalid object {place.location.root}")
         leaves = _decompose(place.location, place.type, value)
+        if ec.memmodel is not None:
+            return ec.memmodel.write_leaves(state, tid, leaves, buffered)
         if buffered:
             thread = state.thread(tid)
             for loc, leaf in leaves:
@@ -202,7 +220,8 @@ class Step:
         params: dict[Any, Any], old_state: ProgramState | None = None,
     ) -> EvalContext:
         method = state.thread(tid).top.method
-        return EvalContext(machine.ctx, state, tid, method, params, old_state)
+        return EvalContext(machine.ctx, state, tid, method, params, old_state,
+                           memmodel=getattr(machine, "memmodel", None))
 
     def _advance(self, state: ProgramState, tid: int,
                  machine: "StateMachine") -> ProgramState:
@@ -525,7 +544,7 @@ class CreateThreadStep(Step):
         ec = self._ec(machine, state, tid, params)
         values = [ev.eval_expr(ec, a) for a in self.args]
         state, new_tid = machine.spawn_thread(state, self.method, values,
-                                              params)
+                                              params, parent_tid=tid)
         if self.lhs is not None:
             ec = self._ec(machine, state, tid, params)
             place = ev.eval_place(ec, self.lhs)
@@ -554,7 +573,9 @@ class JoinStep(Step):
 
     def apply(self, machine, state, tid, params):
         ec = self._ec(machine, state, tid, params)
-        ev.eval_expr(ec, self.thread)
+        target = ev.eval_expr(ec, self.thread)
+        mm = ec.memmodel if ec.memmodel is not None else _default_model()
+        state = mm.on_join(state, tid, target)
         return self._advance(state, tid, machine)
 
 
@@ -679,19 +700,20 @@ class ExternStep(Step):
 
     def apply(self, machine, state, tid, params):
         ec = self._ec(machine, state, tid, params)
+        mm = ec.memmodel if ec.memmodel is not None else _default_model()
         name = self.name
         result: Any = None
         if name == "initialize_mutex":
             loc = self._mutex_location(machine, state, tid, params)
-            state = state.with_memory(loc, 0)
+            state = mm.atomic_update(state, tid, loc, 0)
         elif name == "lock":
             loc = self._mutex_location(machine, state, tid, params)
-            state = state.with_memory(loc, tid)
+            state = mm.atomic_update(state, tid, loc, tid)
         elif name == "unlock":
             loc = self._mutex_location(machine, state, tid, params)
             if state.memory.get(loc) != tid:
                 raise UBSignal("unlock of a mutex not held by this thread")
-            state = state.with_memory(loc, 0)
+            state = mm.atomic_update(state, tid, loc, 0)
         elif name == "compare_and_swap":
             loc = self._mutex_location(machine, state, tid, params)
             expected = ev.eval_expr(ec, self.args[1])
@@ -700,9 +722,10 @@ class ExternStep(Step):
             if current is None:
                 raise UBSignal("CAS on unmapped location")
             if current == expected:
-                state = state.with_memory(loc, desired)
+                state = mm.atomic_update(state, tid, loc, desired)
                 result = True
             else:
+                state = mm.atomic_acquire(state, tid, loc)
                 result = False
         elif name == "atomic_exchange":
             loc = self._mutex_location(machine, state, tid, params)
@@ -710,7 +733,7 @@ class ExternStep(Step):
             current = state.memory.get(loc)
             if current is None:
                 raise UBSignal("exchange on unmapped location")
-            state = state.with_memory(loc, value)
+            state = mm.atomic_update(state, tid, loc, value)
             result = current
         elif name == "atomic_fetch_add":
             loc = self._mutex_location(machine, state, tid, params)
@@ -718,10 +741,12 @@ class ExternStep(Step):
             current = state.memory.get(loc)
             if current is None:
                 raise UBSignal("fetch_add on unmapped location")
-            state = state.with_memory(loc, ty.UINT64.wrap(current + delta))
+            state = mm.atomic_update(
+                state, tid, loc, ty.UINT64.wrap(current + delta)
+            )
             result = current
         elif name == "fence":
-            pass
+            state = mm.fence(state, tid)
         elif name in ("print_uint64", "print_uint32"):
             value = ev.eval_expr(ec, self.args[0])
             state = state.append_log(value)
@@ -776,7 +801,8 @@ class ExternSpecStep(Step):
         bindings = self._bindings(machine, state, tid, params)
         method = state.thread(tid).top.method
         ec = EvalContext(machine.ctx, state, tid, method, params, None,
-                         bindings)
+                         bindings,
+                         memmodel=getattr(machine, "memmodel", None))
         for pre in self.spec.requires:
             if not ev.eval_expr(ec, pre):
                 raise UBSignal(

@@ -429,10 +429,13 @@ class MethodTranslator:
 
 
 def translate_level(
-    ctx: LevelContext, main_method: str = "main"
+    ctx: LevelContext,
+    main_method: str = "main",
+    memory_model: str | None = None,
 ) -> StateMachine:
-    """Translate a resolved, type-checked level into a state machine."""
-    machine = StateMachine(ctx, main_method)
+    """Translate a resolved, type-checked level into a state machine
+    running under *memory_model* (``None`` selects the TSO default)."""
+    machine = StateMachine(ctx, main_method, memory_model=memory_model)
     for method in ctx.level.methods:
         if method.body is None:
             continue

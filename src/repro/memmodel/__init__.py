@@ -1,0 +1,49 @@
+"""Pluggable memory models (SC / x86-TSO / C11-RA).
+
+The semantics layer was originally hard-wired to x86-TSO: the store
+buffer lived directly on :class:`~repro.machine.state.ThreadState` and
+buffering/drain/fence rules were baked into ``machine/steps.py``.  This
+package factors those decisions into a :class:`MemoryModel` interface —
+per-thread buffer state, visible-value resolution, write/fence/RMW
+semantics, and environment (drain) steps — so the explorer, analyzer,
+proof engine, farm and service layers all run against a selectable
+model.  Every existing case study and litmus test thereby becomes N
+scenarios.
+
+Three implementations ship:
+
+* :class:`~repro.memmodel.models.TSOModel` — the original store-buffer
+  semantics, extracted **verbatim** so all outcomes stay bit-identical
+  (see DESIGN.md for the soundness argument).
+* :class:`~repro.memmodel.models.SCModel` — sequential consistency: no
+  buffering, every write hits shared memory immediately, environment
+  steps never exist.
+* :class:`~repro.memmodel.models.RAModel` — a C11-style release/acquire
+  model with per-location timestamped write histories and per-thread
+  views, making non-multi-copy-atomic behaviours (IRIW) observable.
+
+``litmus`` holds the per-model litmus corpus (SB, MP, LB, IRIW) with
+the expected allowed/forbidden outcome tables.
+"""
+
+from __future__ import annotations
+
+from repro.memmodel.models import (
+    DEFAULT_MODEL,
+    MODELS,
+    MemoryModel,
+    RAModel,
+    SCModel,
+    TSOModel,
+    get_model,
+)
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "MODELS",
+    "MemoryModel",
+    "RAModel",
+    "SCModel",
+    "TSOModel",
+    "get_model",
+]

@@ -71,6 +71,8 @@ class TraceStats:
     phases: list[dict] = field(default_factory=list)
     counters: dict = field(default_factory=dict)
     histograms: dict = field(default_factory=dict)
+    #: Distinct memory-model names tagged on the trace's spans.
+    memory_models: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
@@ -101,6 +103,7 @@ class TraceStats:
             "phases": self.phases,
             "counters": self.counters,
             "histograms": self.histograms,
+            "memory_models": self.memory_models,
         }
 
     def to_json(self) -> str:
@@ -115,6 +118,10 @@ class TraceStats:
             lines.append(
                 f"chain: {self.chain['name']} "
                 f"({self.chain['seconds']:.3f}s)"
+            )
+        if self.memory_models:
+            lines.append(
+                "memory model: " + ", ".join(self.memory_models)
             )
         for row in self.proofs:
             lines.append(
@@ -169,12 +176,16 @@ def aggregate(records: list[dict]) -> TraceStats:
     """Reduce trace records to a :class:`TraceStats`."""
     stats = TraceStats(events=len(records))
     phase_totals: dict[str, list] = {}  # name -> [spans, seconds]
+    models: set[str] = set()
     for record in records:
         rtype = record.get("type")
         if rtype == "meta":
             stats.format = record.get("format")
         elif rtype == "span":
             _fold_span(stats, phase_totals, record)
+            model = (record.get("attrs") or {}).get("memory_model")
+            if model:
+                models.add(str(model))
         elif rtype == "counters":
             _merge_counters(stats, record.get("counters") or {})
             _merge_histograms(stats, record.get("histograms") or {})
@@ -194,6 +205,7 @@ def aggregate(records: list[dict]) -> TraceStats:
             "phase": key, "spans": spans, "seconds": round(seconds, 6),
         })
     stats.phases = ordered
+    stats.memory_models = sorted(models)
     return stats
 
 

@@ -157,6 +157,7 @@ class ProofEngine:
         analyze: bool = False,
         por: bool = False,
         outcome_cache: "object | None" = None,
+        memory_model: str | None = None,
     ) -> None:
         """``validate_refinement``: ``"always"`` runs the whole-program
         bounded simulation check for every pair, ``"auto"`` only when a
@@ -189,8 +190,17 @@ class ProofEngine:
         only the proofs a resubmission invalidated.  Only *settled*
         outcomes (verified, or failed with a refutation) are stored:
         an inconclusive outcome must be retried, never pinned.
+
+        ``memory_model``: which memory model every level's machine runs
+        under (``sc`` / ``tso`` / ``ra``; default ``tso``).  Part of
+        every cache fingerprint — level fingerprints, job fingerprints
+        and proof keys all change with the model, so a verdict obtained
+        under one model is never replayed for another.
         """
+        from repro.memmodel import get_model
+
         self.checked = checked
+        self.memory_model = get_model(memory_model).name
         self.prover = prover or Prover()
         self.max_states = max_states
         self.domains = domains
@@ -212,7 +222,7 @@ class ProofEngine:
             ctx = self.checked.contexts.get(level_name)
             if ctx is None:
                 raise ProofFailure(f"unknown level {level_name}")
-            machine = translate_level(ctx)
+            machine = translate_level(ctx, memory_model=self.memory_model)
             if self.domains is not None:
                 machine.domains = self.domains
             self._machines[level_name] = machine
@@ -230,6 +240,7 @@ class ProofEngine:
                 ctx,
                 machine=self.machine(level_name),
                 max_states=self.max_states,
+                memory_model=self.memory_model,
             )
         return self._analyses[level_name]
 
@@ -293,7 +304,8 @@ class ProofEngine:
         """Generate the proof script (no obligation is checked yet)."""
         with OBS.span(proof.name, "proof", low=proof.low_level,
                       high=proof.high_level,
-                      strategy=proof.strategy.name):
+                      strategy=proof.strategy.name,
+                      memory_model=self.memory_model):
             return self._prepare_inner(proof)
 
     def _prepare_inner(self, proof: ast.ProofDecl) -> _PreparedProof:
@@ -359,7 +371,8 @@ class ProofEngine:
             )
         return (
             f"{self.prover.fingerprint()}|max_states={self.max_states}"
-            f"|por={'on' if self.por else 'off'}|{domain_part}"
+            f"|por={'on' if self.por else 'off'}"
+            f"|mm={self.memory_model}|{domain_part}"
         )
 
     def level_fingerprint(self, level_name: str) -> str:
@@ -390,6 +403,7 @@ class ProofEngine:
         fingerprint = structural_hash(
             "machine-level",
             level_name,
+            self.memory_model,
             "\n".join(render_machine_definitions(self.machine(level_name))),
             inits,
         )
@@ -642,7 +656,8 @@ class ProofEngine:
         chain_name = levels[0].name if levels else "chain"
         with OBS.span(chain_name, "chain",
                       levels=len(levels),
-                      proofs=len(self.checked.program.proofs)):
+                      proofs=len(self.checked.program.proofs),
+                      memory_model=self.memory_model):
             # Incremental re-verification: a proof whose outcome key
             # hits the cache is reused wholesale — its levels, recipe,
             # prover budget, and toolchain are all unchanged, so
@@ -762,6 +777,7 @@ def verify_source(
     farm: VerificationFarm | None = None,
     analyze: bool = False,
     por: bool = False,
+    memory_model: str | None = None,
 ) -> ChainOutcome:
     """Parse, check, and verify a complete Armada program text."""
     checked = check_program(source, filename)
@@ -769,5 +785,6 @@ def verify_source(
         checked, max_states=max_states,
         validate_refinement=validate_refinement,
         farm=farm, analyze=analyze, por=por,
+        memory_model=memory_model,
     )
     return engine.run_all()

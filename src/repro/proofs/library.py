@@ -125,7 +125,9 @@ def _transition_enabled(
     ):
         return False
     if transition.is_drain:
-        return bool(thread.store_buffer)
+        return machine.memmodel.env_enabled(
+            state, transition.tid, transition.params, machine
+        )
     if thread.pc != transition.step.pc:
         return False
     try:

@@ -311,6 +311,7 @@ class ArmadaDaemon:
             analyze=bool(options.get("analyze", False)),
             por=bool(options.get("por", False)),
             outcome_cache=self.outcomes,
+            memory_model=options.get("memory_model"),
         )
         fingerprints = engine.level_fingerprints()
         diff = self.index.diff(job.name, fingerprints)
@@ -334,6 +335,7 @@ class ArmadaDaemon:
         summary = farm.summary()
         return {
             "status": outcome.status,
+            "memory_model": engine.memory_model,
             "end_to_end": outcome.end_to_end,
             "chain": outcome.chain,
             "chain_error": outcome.chain_error,
@@ -377,10 +379,12 @@ class ArmadaDaemon:
             ctx,
             max_states=int(options.get("max_states", 200_000)),
             dynamic=not options.get("no_dynamic", False),
+            memory_model=options.get("memory_model"),
         )
         return {
             "status": "analyzed",
             "level": level,
+            "memory_model": result.memory_model,
             "racy": result.racy(),
             "report": json.loads(result.report().to_json()),
         }
@@ -399,7 +403,9 @@ class ArmadaDaemon:
             raise ArmadaError(
                 f"no level named {level} (levels: {names})"
             )
-        machine = translate_level(ctx)
+        machine = translate_level(
+            ctx, memory_model=options.get("memory_model")
+        )
         explorer = Explorer(
             machine,
             max_states=int(options.get("max_states", 200_000)),
@@ -413,6 +419,7 @@ class ArmadaDaemon:
         return {
             "status": "explored",
             "level": level,
+            "memory_model": machine.memmodel.name,
             "states": result.states_visited,
             "transitions": result.transitions_taken,
             "outcomes": [

@@ -42,9 +42,10 @@ class TestJsonSchemas:
         assert main(["explore", toy_file, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert sorted(payload) == [
-            "hit_state_budget", "level", "outcomes", "por", "states",
-            "transitions", "ub", "violations",
+            "hit_state_budget", "level", "memory_model", "outcomes",
+            "por", "states", "transitions", "ub", "violations",
         ]
+        assert payload["memory_model"] == "tso"
         assert payload["level"] == "L"
         assert payload["states"] > 0
         for outcome in payload["outcomes"]:
@@ -84,8 +85,9 @@ class TestJsonSchemas:
         payload = json.loads(capsys.readouterr().out)
         assert sorted(payload) == [
             "chain", "counters", "events", "format", "histograms",
-            "obligations", "phases", "proofs",
+            "memory_models", "obligations", "phases", "proofs",
         ]
+        assert payload["memory_models"] == ["tso"]
         assert sorted(payload["obligations"]) == [
             "cached", "executed", "rows", "seconds", "total",
         ]

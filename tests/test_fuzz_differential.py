@@ -153,8 +153,10 @@ def _two_thread_program(draw) -> str:
     )
 
 
-def _explore(source: str, por: bool):
-    machine = translate_level(check_level(source))
+def _explore(source: str, por: bool, memory_model: str | None = None):
+    machine = translate_level(
+        check_level(source), memory_model=memory_model
+    )
     result = Explorer(machine, max_states=60_000, por=por).explore()
     assert not result.hit_state_budget, source
     return result
@@ -201,3 +203,18 @@ def test_por_preserves_outcome_set(source):
     reduced = _explore(source, por=True)
     assert _outcome_set(full) == _outcome_set(reduced), source
     assert sorted(full.ub_reasons) == sorted(reduced.ub_reasons), source
+
+
+@settings(max_examples=15, derandomize=True, deadline=None)
+@given(source=_two_thread_program())
+def test_memory_models_agree_on_race_free_programs(source):
+    """DRF guarantee, checked differentially: a lock-protected program
+    never exposes a weak behaviour, so exploring it under SC, x86-TSO
+    and C11 release/acquire must enumerate the same outcome set."""
+    baseline = _outcome_set(_explore(source, por=False,
+                                     memory_model="tso"))
+    for model in ("sc", "ra"):
+        outcomes = _outcome_set(
+            _explore(source, por=False, memory_model=model)
+        )
+        assert outcomes == baseline, (model, source)

@@ -1,10 +1,13 @@
-"""The classic x86-TSO litmus tests (Owens, Sarkar & Sewell 2009 — the
-paper's reference [35]) checked exhaustively against our semantics.
+"""The classic litmus tests (Owens, Sarkar & Sewell 2009 — the paper's
+reference [35]) checked exhaustively against our semantics, across all
+three shipped memory models.
 
 x86-TSO allows exactly one relaxation: a load may be reordered before
-an earlier store to a *different* address (FIFO store buffering).  The
-suite checks both directions: the allowed weak outcome is reachable,
-and every forbidden outcome is unreachable.
+an earlier store to a *different* address (FIFO store buffering).  SC
+allows none; C11 release/acquire additionally gives up multi-copy
+atomicity (IRIW).  The suite checks both directions per model: each
+allowed weak outcome is reachable, and every forbidden outcome is
+unreachable.
 """
 
 import pytest
@@ -13,9 +16,15 @@ from repro.explore.explorer import final_logs
 from repro.lang.frontend import check_level
 from repro.machine.translator import translate_level
 
+ALL_MODELS = ("sc", "tso", "ra")
 
-def logs_of(source: str, max_states: int = 2_000_000):
-    machine = translate_level(check_level("level L { " + source + " }"))
+
+def logs_of(source: str, max_states: int = 2_000_000,
+            memory_model: str | None = None):
+    machine = translate_level(
+        check_level("level L { " + source + " }"),
+        memory_model=memory_model,
+    )
     return {
         log for kind, log in final_logs(machine, max_states)
         if kind == "normal"
@@ -50,26 +59,32 @@ class TestStoreBuffering:
         + " }"
     )
 
-    def test_weak_outcome_allowed(self):
-        assert (0, 0) in logs_of(self.SOURCE)
+    @pytest.mark.parametrize("model", ["tso", "ra"])
+    def test_weak_outcome_allowed(self, model):
+        assert (0, 0) in logs_of(self.SOURCE, memory_model=model)
+
+    def test_weak_outcome_forbidden_under_sc(self):
+        assert (0, 0) not in logs_of(self.SOURCE, memory_model="sc")
 
     def test_all_four_outcomes(self):
         assert logs_of(self.SOURCE) == {(0, 0), (0, 1), (1, 0), (1, 1)}
 
-    def test_mfence_restores_sc(self):
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_mfence_restores_sc(self, model):
         fenced = self.SOURCE.replace(
             "x := 1; r1 := y;", "x := 1; fence(); r1 := y;"
         ).replace(
             "y := 1; r2 := x;", "y := 1; fence(); r2 := x;"
         )
-        assert (0, 0) not in logs_of(fenced)
+        assert (0, 0) not in logs_of(fenced, memory_model=model)
 
 
 class TestMessagePassing:
     """MP: the flag publication idiom.  TSO's FIFO buffers forbid
     observing the flag without the data."""
 
-    def test_stale_data_forbidden(self):
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_stale_data_forbidden(self, model):
         logs = logs_of(
             "var data: uint32; var flag: uint32; "
             "var rf: uint32; var rd: uint32; "
@@ -78,7 +93,8 @@ class TestMessagePassing:
             "a := create_thread writer(); "
             "rf := flag; rd := data; join a; fence(); "
             + _print_regs("rf", "rd")
-            + " }"
+            + " }",
+            memory_model=model,
         )
         assert (1, 0) not in logs
         assert (1, 42) in logs
@@ -89,7 +105,8 @@ class TestLoadBuffering:
     """LB: loads are *not* reordered after later stores on x86-TSO,
     so r1 = r2 = 1 is forbidden."""
 
-    def test_lb_forbidden(self):
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_lb_forbidden(self, model):
         logs = logs_of(
             "var x: uint32; var y: uint32; "
             "var r1: uint32; var r2: uint32; "
@@ -97,7 +114,8 @@ class TestLoadBuffering:
             "void main() { var a: uint64 := 0; a := create_thread t1(); "
             "r2 := y; x := 1; join a; fence(); "
             + _print_regs("r1", "r2")
-            + " }"
+            + " }",
+            memory_model=model,
         )
         assert (1, 1) not in logs
 
@@ -106,7 +124,8 @@ class TestCoherence:
     """CoRR: per-location coherence — a thread reading the same location
     twice can never see the new value then the old one."""
 
-    def test_corr_forbidden(self):
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_corr_forbidden(self, model):
         logs = logs_of(
             "var x: uint32; var r1: uint32; var r2: uint32; "
             "void writer() { x := 1; } "
@@ -114,7 +133,8 @@ class TestCoherence:
             "a := create_thread writer(); "
             "r1 := x; r2 := x; join a; fence(); "
             + _print_regs("r1", "r2")
-            + " }"
+            + " }",
+            memory_model=model,
         )
         assert (1, 0) not in logs
         assert {(0, 0), (1, 1)} <= logs
@@ -140,28 +160,40 @@ class TestWriteOrder:
 
 class TestIRIW:
     """IRIW: independent readers see independent writes in a single
-    global order on TSO (no such weak outcome)."""
+    global order on SC and TSO (both are multi-copy atomic), but C11
+    release/acquire lets the two readers disagree."""
 
-    def test_iriw_forbidden(self):
+    SOURCE = (
+        "var x: uint32; var y: uint32; "
+        "var r1: uint32; var r2: uint32; "
+        "var r3: uint32; var r4: uint32; "
+        "void wx() { x ::= 1; } "
+        "void wy() { y ::= 1; } "
+        "void reader1() { r1 ::= x; r2 ::= y; } "
+        "void main() { "
+        "var a: uint64 := 0; var b: uint64 := 0; var c: uint64 := 0; "
+        "a := create_thread wx(); b := create_thread wy(); "
+        "c := create_thread reader1(); "
+        "r3 ::= y; r4 ::= x; "
+        "join a; join b; join c; "
+        + _print_regs("r1", "r2", "r3", "r4")
+        + " }"
+    )
+
+    @pytest.mark.parametrize("model", ["sc", "tso"])
+    def test_iriw_forbidden(self, model):
         logs = logs_of(
-            "var x: uint32; var y: uint32; "
-            "var r1: uint32; var r2: uint32; "
-            "var r3: uint32; var r4: uint32; "
-            "void wx() { x ::= 1; } "
-            "void wy() { y ::= 1; } "
-            "void reader1() { r1 ::= x; r2 ::= y; } "
-            "void main() { "
-            "var a: uint64 := 0; var b: uint64 := 0; var c: uint64 := 0; "
-            "a := create_thread wx(); b := create_thread wy(); "
-            "c := create_thread reader1(); "
-            "r3 ::= y; r4 ::= x; "
-            "join a; join b; join c; "
-            + _print_regs("r1", "r2", "r3", "r4")
-            + " }",
-            max_states=4_000_000,
+            self.SOURCE, max_states=4_000_000, memory_model=model
         )
         # reader1 sees x then not y; main sees y then not x.
         assert (1, 0, 1, 0) not in logs
+        assert (1, 1, 1, 1) in logs
+
+    def test_iriw_observable_under_ra(self):
+        logs = logs_of(
+            self.SOURCE, max_states=4_000_000, memory_model="ra"
+        )
+        assert (1, 0, 1, 0) in logs
         assert (1, 1, 1, 1) in logs
 
 
