@@ -1,23 +1,42 @@
-"""Partial-order reduction: payoff and equivalence, measured.
+"""Exploration core: compiled step specialization and POR, measured.
 
-For every case-study level and a set of TSO litmus shapes, the state
-space is explored twice — full interleaving fan-out vs ample-set
-reduction (``repro.explore.por``) — and the run asserts the two sweeps
-are *observationally identical* (same final outcomes, same UB reasons,
-same budget status) while recording how many states/transitions the
-reduction saved.  Results land in ``benchmarks/results/explore.{md,json}``.
+Two experiments land in ``benchmarks/results/explore.{md,json}`` and
+``benchmarks/results/explore_relation.{md,json}``:
+
+1. **Three-way sweep** — for every case-study level and a set of TSO
+   litmus shapes, the state space is explored three ways: interpreted
+   full fan-out, compiled (``repro.compiler.stepc``) full fan-out, and
+   compiled + ample-set reduction (``repro.explore.por``).  The run
+   asserts all three are *observationally identical* (same final
+   outcomes, same UB reasons, same budget status) while recording the
+   states/transitions the reduction saved and the wall-clock of each
+   mode.  POR must never cost more than 1.5x the full sweep on any row
+   (the small-graph regression guard): static independence facts are
+   cached per machine and single-runnable-thread states short-circuit,
+   so tiny graphs no longer pay a fact-computation tax.
+
+2. **Step-relation enumeration** — the paper's Figure-12 regime: how
+   fast can the successor relation itself be enumerated over the
+   reachable set of the largest level (QueueNondet under TSO)?  The
+   compiled ``enabled_and_next`` is compared against
+   ``enabled_transitions`` + ``next_state`` pair-for-pair
+   (bit-identical transitions and successor states) and must be at
+   least 10x faster (5x in smoke mode, which also shrinks the state
+   cap).
 
 Set ``BENCH_EXPLORE_SMOKE=1`` to restrict the sweep to the smallest
-case study (CI's bench-smoke step).
+case study and lower the speedup bar (CI's bench-smoke step).
 """
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 
 from _common import fmt_table, record
 from repro.casestudies import ALL, load
+from repro.compiler.stepc import stepper_for
 from repro.explore import Explorer
 from repro.lang.frontend import check_level, check_program
 from repro.machine.translator import translate_level
@@ -34,6 +53,16 @@ STUDY_BUDGETS = {
 LITMUS_BUDGET = 200_000
 
 SMOKE = os.environ.get("BENCH_EXPLORE_SMOKE") == "1"
+
+#: POR may never cost more than this multiple of the full sweep on any
+#: row, plus a small absolute allowance so micro-rows (a few ms) do not
+#: fail on scheduler noise.
+POR_OVERHEAD_LIMIT = 1.5
+POR_OVERHEAD_SLACK_S = 0.005
+
+#: Required step-relation speedup on QueueNondet/tso.
+RELATION_SPEEDUP_FLOOR = 5.0 if SMOKE else 10.0
+RELATION_CAP = 8_000 if SMOKE else 40_000
 
 
 def _print_regs(*names: str) -> str:
@@ -104,30 +133,53 @@ def _workloads():
         yield f"litmus/{name}", machine, LITMUS_BUDGET
 
 
-def _explore(machine, budget: int, por: bool):
-    started = time.perf_counter()
-    result = Explorer(machine, budget, por=por).explore()
-    return result, time.perf_counter() - started
+def _explore(machine, budget: int, *, por: bool, compiled: bool,
+             repeats: int = 2):
+    """Best-of-*repeats* exploration (min wall time counters noise; the
+    first run also warms the stepper / POR static facts, so no row pays
+    one-time costs)."""
+    best = None
+    elapsed = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = Explorer(
+            machine, budget, por=por, compiled=compiled
+        ).explore()
+        elapsed = min(elapsed, time.perf_counter() - started)
+        best = result
+    return best, elapsed
 
 
-def test_por_equivalence_and_payoff():
+def test_three_way_equivalence_and_payoff():
     rows = []
     data: dict = {"smoke": SMOKE, "programs": {}}
     strict_reductions = 0
 
     for name, machine, budget in _workloads():
-        off, off_s = _explore(machine, budget, por=False)
-        on, on_s = _explore(machine, budget, por=True)
+        interp, interp_s = _explore(
+            machine, budget, por=False, compiled=False, repeats=1,
+        )
+        off, off_s = _explore(machine, budget, por=False, compiled=True)
+        on, on_s = _explore(machine, budget, por=True, compiled=True)
 
-        # Observational equivalence: the reduction may only shrink the
-        # number of intermediate states, never change what the program
-        # can do.
-        assert not off.hit_state_budget, name
-        assert on.hit_state_budget == off.hit_state_budget, name
-        assert on.final_outcomes == off.final_outcomes, name
-        assert sorted(on.ub_reasons) == sorted(off.ub_reasons), name
-        assert on.assert_failures == off.assert_failures, name
+        # The compiled stepper must be observationally invisible, and
+        # the reduction may only shrink the number of intermediate
+        # states, never change what the program can do.
+        assert not interp.hit_state_budget, name
+        for other in (off, on):
+            assert other.hit_state_budget == interp.hit_state_budget, name
+            assert other.final_outcomes == interp.final_outcomes, name
+            assert sorted(other.ub_reasons) == sorted(interp.ub_reasons), name
+            assert other.assert_failures == interp.assert_failures, name
+        assert off.states_visited == interp.states_visited, name
+        assert off.transitions_taken == interp.transitions_taken, name
         assert on.states_visited <= off.states_visited, name
+
+        # POR small-graph guard: never pay more than 1.5x the full
+        # sweep (plus a few ms of absolute noise allowance).
+        assert on_s <= POR_OVERHEAD_LIMIT * off_s + POR_OVERHEAD_SLACK_S, (
+            f"{name}: POR {on_s * 1000:.1f}ms vs full {off_s * 1000:.1f}ms"
+        )
 
         if on.states_visited < off.states_visited:
             strict_reductions += 1
@@ -144,9 +196,8 @@ def test_por_equivalence_and_payoff():
             off.states_visited,
             on.states_visited,
             f"{saved_pct:.1f}%",
-            off.transitions_taken,
-            on.transitions_taken,
             pruned,
+            f"{interp_s * 1000:.1f}",
             f"{off_s * 1000:.1f}",
             f"{on_s * 1000:.1f}",
         ])
@@ -157,6 +208,7 @@ def test_por_equivalence_and_payoff():
             "transitions_full": off.transitions_taken,
             "transitions_por": on.transitions_taken,
             "transitions_pruned": pruned,
+            "seconds_interpreted": interp_s,
             "seconds_full": off_s,
             "seconds_por": on_s,
             "outcomes_equal": True,
@@ -170,15 +222,105 @@ def test_por_equivalence_and_payoff():
 
     lines = [
         "Identical final outcomes, UB reasons and assertion verdicts "
-        "with and without ample-set reduction on every row "
-        f"({strict_reductions} rows strictly reduced).",
+        "across interpreted, compiled and compiled+POR sweeps on every "
+        f"row ({strict_reductions} rows strictly reduced; POR never "
+        "exceeds 1.5x the full sweep).",
         "",
     ]
     lines += fmt_table(
-        ["program", "states full", "states POR", "saved",
-         "transitions full", "transitions POR", "pruned",
-         "full (ms)", "POR (ms)"],
+        ["program", "states full", "states POR", "saved", "pruned",
+         "interp (ms)", "compiled (ms)", "POR (ms)"],
         rows,
     )
     record("explore",
-           "Exploration: partial-order reduction payoff", lines, data)
+           "Exploration: compiled stepper and POR payoff", lines, data)
+
+
+def test_compiled_step_relation_speedup():
+    """Enumerate the successor relation over QueueNondet/tso's reachable
+    set both ways: pair-for-pair identical, and the compiled path at
+    least ``RELATION_SPEEDUP_FLOOR`` times faster."""
+    from repro.errors import StateBudgetExceeded
+
+    study = load("queue")
+    checked = check_program(study.source, "<queue>")
+    machine = translate_level(
+        checked.contexts["QueueNondet"], memory_model="tso"
+    )
+    stepper = stepper_for(machine)
+    assert stepper is not None and stepper.fallback_steps == 0
+
+    explorer = Explorer(machine, RELATION_CAP, compiled=True)
+    states = []
+    try:
+        for state in explorer.reachable_states():
+            states.append(state)
+    except StateBudgetExceeded:
+        pass  # smoke cap: benchmark over the admitted prefix
+    fn = stepper.fn
+
+    # Bit-identical relation, checked pair-for-pair on a sample (the
+    # exhaustive check lives in tests/test_stepc.py; here it guards the
+    # numbers below against measuring different work).
+    for state in states[:500]:
+        pairs = fn(state)
+        transitions = machine.enabled_transitions(state)
+        assert [p[0] for p in pairs] == transitions
+        for (_, nxt), tr in zip(pairs, transitions):
+            assert nxt == machine.next_state(state, tr)
+
+    def time_interpreted() -> float:
+        started = time.perf_counter()
+        for state in states:
+            for tr in machine.enabled_transitions(state):
+                machine.next_state(state, tr)
+        return time.perf_counter() - started
+
+    def time_compiled() -> float:
+        started = time.perf_counter()
+        for state in states:
+            fn(state)
+        return time.perf_counter() - started
+
+    # Warm both paths, then take the best of 3 rounds each with the GC
+    # parked: its pauses scale with the retained state graph and would
+    # otherwise dominate run-to-run noise.
+    time_compiled()
+    time_interpreted()
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+    try:
+        interp_s = min(time_interpreted() for _ in range(3))
+        compiled_s = min(time_compiled() for _ in range(3))
+    finally:
+        gc.enable()
+        gc.unfreeze()
+    speedup = interp_s / compiled_s
+
+    lines = [
+        f"QueueNondet/tso, {len(states)} reachable states: enumerating "
+        "the full successor relation (enabled transitions + successor "
+        "construction) pair-for-pair identically.",
+        "",
+    ]
+    lines += fmt_table(
+        ["mode", "time (ms)", "speedup"],
+        [
+            ["interpreted", f"{interp_s * 1000:.1f}", "1.0x"],
+            ["compiled", f"{compiled_s * 1000:.1f}",
+             f"{speedup:.1f}x"],
+        ],
+    )
+    record("explore_relation",
+           "Exploration: compiled step-relation enumeration", lines, {
+               "smoke": SMOKE,
+               "states": len(states),
+               "seconds_interpreted": interp_s,
+               "seconds_compiled": compiled_s,
+               "speedup": speedup,
+           })
+    assert speedup >= RELATION_SPEEDUP_FLOOR, (
+        f"compiled step relation only {speedup:.1f}x faster "
+        f"(floor {RELATION_SPEEDUP_FLOOR}x)"
+    )

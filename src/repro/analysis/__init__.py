@@ -135,6 +135,7 @@ def analyze_level(
     dynamic: bool = True,
     suggest: bool = True,
     memory_model: str | None = None,
+    compiled: bool = True,
 ) -> AnalysisResult:
     """Run the full analysis pipeline over one level.
 
@@ -158,7 +159,8 @@ def analyze_level(
     access_map = extract_accesses(ctx, machine)
     locksets = compute_locksets(machine, access_map)
     scan = (
-        run_dynamic_scan(ctx, machine, access_map, max_states)
+        run_dynamic_scan(ctx, machine, access_map, max_states,
+                         compiled=compiled)
         if dynamic else None
     )
     verdicts = classify(
@@ -166,7 +168,8 @@ def analyze_level(
         memory_model=model_name,
     )
     suggestions = (
-        suggest_ownership(ctx, machine, access_map, verdicts, max_states)
+        suggest_ownership(ctx, machine, access_map, verdicts, max_states,
+                          compiled=compiled)
         if suggest else []
     )
     return AnalysisResult(

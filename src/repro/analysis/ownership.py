@@ -93,6 +93,7 @@ def validate_predicate(
     varname: str,
     predicate_text: str,
     max_states: int = 200_000,
+    compiled: bool = True,
 ) -> tuple[bool, str]:
     """Replay the tso_elim ownership obligations over the bounded state
     space.  Returns (ok, note); a hit state budget fails validation."""
@@ -137,7 +138,9 @@ def validate_predicate(
             return False
         return True
 
-    complete = Explorer(machine, max_states).walk(visit)
+    complete = Explorer(
+        machine, max_states, compiled=compiled
+    ).walk(visit)
     if failure:
         return False, failure[0]
     if not complete:
@@ -154,6 +157,7 @@ def suggest_ownership(
     access_map: AccessMap,
     verdicts: dict[str, LocationVerdict],
     max_states: int = 200_000,
+    compiled: bool = True,
 ) -> list[OwnershipSuggestion]:
     """Candidate tso_elim predicates for every eliminable location."""
     suggestions: list[OwnershipSuggestion] = []
@@ -177,7 +181,8 @@ def suggest_ownership(
             for mutex in verdict.locks:
                 text = f"{mutex} == $me"
                 ok, note = validate_predicate(
-                    ctx, machine, access_map, name, text, max_states
+                    ctx, machine, access_map, name, text, max_states,
+                    compiled=compiled,
                 )
                 suggestions.append(OwnershipSuggestion(
                     location=name,

@@ -168,6 +168,7 @@ def run_dynamic_scan(
     machine: StateMachine,
     access_map: AccessMap,
     max_states: int = 200_000,
+    compiled: bool = True,
 ) -> DynamicScan:
     """Walk the bounded state space hunting for simultaneously enabled
     conflicting accesses.  Store-buffer drain transitions count as
@@ -247,7 +248,9 @@ def run_dynamic_scan(
                             )
         return True
 
-    scan.complete = Explorer(machine, max_states).walk(visit)
+    scan.complete = Explorer(
+        machine, max_states, compiled=compiled
+    ).walk(visit)
     return scan
 
 

@@ -122,6 +122,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         validate_refinement=args.validate, farm=farm,
         analyze=args.analyze, por=args.por,
         memory_model=args.memory_model,
+        compiled=args.compiled,
     )
     if args.trace:
         try:
@@ -270,7 +271,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         src: _invariant_predicate(ctx, machine, src)
         for src in (args.invariant or [])
     }
-    explorer = Explorer(machine, max_states=args.max_states, por=args.por)
+    explorer = Explorer(
+        machine, max_states=args.max_states, por=args.por,
+        compiled=args.compiled,
+    )
     result = explorer.explore(invariants=invariants or None)
 
     outcomes = sorted(
@@ -375,6 +379,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         max_states=args.max_states,
         dynamic=not args.no_dynamic,
         memory_model=args.memory_model,
+        compiled=args.compiled,
     )
     report = result.report()
     print(report.to_json() if args.json else report.render_text())
@@ -811,6 +816,13 @@ def build_parser() -> argparse.ArgumentParser:
              "elides; the choice is part of the proof-cache key)",
     )
     p.add_argument(
+        "--compiled", action=argparse.BooleanOptionalAction, default=True,
+        help="compiled step specialization for state sweeps (default: "
+             "on; bit-identical to the interpreter — states, UB "
+             "reasons and verdicts are unchanged; machines the "
+             "specializer does not cover fall back automatically)",
+    )
+    p.add_argument(
         "--trace", default=None, metavar="FILE",
         help="record a JSONL span/metric trace of the run "
              "(inspect with 'armada stats FILE')",
@@ -862,6 +874,13 @@ def build_parser() -> argparse.ArgumentParser:
              "are identical either way)",
     )
     p.add_argument(
+        "--compiled", action=argparse.BooleanOptionalAction, default=True,
+        help="compiled step specialization for state sweeps (default: "
+             "on; bit-identical to the interpreter — states, UB "
+             "reasons and verdicts are unchanged; machines the "
+             "specializer does not cover fall back automatically)",
+    )
+    p.add_argument(
         "--invariant", action="append", default=None, metavar="EXPR",
         help="boolean expression checked at every reachable state "
              "(repeatable); violations print a replayable trace",
@@ -888,6 +907,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-dynamic", action="store_true",
         help="skip the bounded dynamic cross-check (static only)",
+    )
+    p.add_argument(
+        "--compiled", action=argparse.BooleanOptionalAction, default=True,
+        help="compiled step specialization for state sweeps (default: "
+             "on; bit-identical to the interpreter — states, UB "
+             "reasons and verdicts are unchanged; machines the "
+             "specializer does not cover fall back automatically)",
     )
     p.add_argument(
         "--fail-on-race", action="store_true",

@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.compiler.stepc import stepper_for
 from repro.errors import StateBudgetExceeded
 from repro.explore.por import AmpleReducer, PorStats
 from repro.machine.program import StateMachine, Transition
@@ -99,6 +100,7 @@ class Explorer:
         machine: StateMachine,
         max_states: int = 2_000_000,
         por: AmpleReducer | bool | None = None,
+        compiled: bool = True,
     ) -> None:
         self.machine = machine
         self.max_states = max_states
@@ -111,21 +113,41 @@ class Explorer:
         if por is True:
             por = AmpleReducer(machine)
         self.reducer: AmpleReducer | None = por or None
+        # Compiled step specialization (repro.compiler.stepc): one flat
+        # enabled_and_next(state) per machine, with automatic fallback
+        # to the interpreter (stepper_for returns None for uncovered
+        # machines, e.g. under the RA model).
+        self.stepper = stepper_for(machine) if compiled else None
 
     # ------------------------------------------------------------------
+
+    def _expand(
+        self, state: ProgramState
+    ) -> tuple[list[Transition], list[ProgramState] | None]:
+        """The full enabled-transition list at *state*, plus — when the
+        compiled stepper is active — the matching successor states for
+        free (``None`` otherwise; they are computed lazily on demand)."""
+        if self.stepper is not None:
+            pairs = self.stepper.fn(state)
+            return [p[0] for p in pairs], [p[1] for p in pairs]
+        return self.machine.enabled_transitions(state), None
 
     def _successors(
         self,
         state: ProgramState,
         transitions: list[Transition],
         seen: dict,
+        successors: list[ProgramState] | None = None,
     ) -> tuple[list[Transition], list[ProgramState]]:
         """Transitions to expand at *state* and their successor states
         (the ample subset under POR, everything otherwise)."""
         if self.reducer is not None:
-            reduced = self.reducer.ample(state, transitions, seen)
+            reduced = self.reducer.ample(state, transitions, seen,
+                                         successors)
             if reduced is not None:
                 return reduced
+        if successors is not None:
+            return transitions, successors
         machine = self.machine
         return transitions, [
             machine.next_state(state, tr) for tr in transitions
@@ -154,8 +176,16 @@ class Explorer:
         while frontier:
             state = frontier.popleft()
             yield state
-            transitions = machine.enabled_transitions(state)
-            _, successors = self._successors(state, transitions, seen)
+            if truncated:
+                # The budget has tripped: no successor can be admitted
+                # any more, so expanding the remaining frontier would be
+                # dead next_state work.  Keep draining (and yielding)
+                # the states already admitted.
+                continue
+            transitions, computed = self._expand(state)
+            _, successors = self._successors(
+                state, transitions, seen, computed
+            )
             for nxt in successors:
                 if nxt in seen:
                     intern_hits += 1
@@ -168,6 +198,8 @@ class Explorer:
         if OBS.enabled:
             OBS.count("explorer.states_admitted", len(seen))
             OBS.count("explorer.intern_hits", intern_hits)
+            if truncated:
+                OBS.count("explorer.budget_truncated")
         if truncated:
             raise StateBudgetExceeded(self.max_states)
 
@@ -193,10 +225,18 @@ class Explorer:
         complete = True
         while frontier:
             state = frontier.popleft()
-            transitions = machine.enabled_transitions(state)
+            transitions, computed = self._expand(state)
             if visit(state, transitions) is False:
                 return False
-            _, successors = self._successors(state, transitions, seen)
+            if not complete:
+                # Budget already hit: every new successor would be
+                # refused, so skip the (possibly interpreted) successor
+                # computation.  Remaining admitted states are still
+                # visited above with their full transition lists.
+                continue
+            _, successors = self._successors(
+                state, transitions, seen, computed
+            )
             for nxt in successors:
                 if nxt in seen:
                     continue
@@ -207,6 +247,8 @@ class Explorer:
                 frontier.append(nxt)
         if OBS.enabled:
             OBS.count("explorer.states_admitted", len(seen))
+            if not complete:
+                OBS.count("explorer.budget_truncated")
         return complete
 
     def explore(
@@ -222,6 +264,7 @@ class Explorer:
         memmodel = getattr(self.machine, "memmodel", None)
         with OBS.span("explore", "phase", level=self.machine.level_name,
                       por=self.reducer is not None,
+                      compiled=self.stepper is not None,
                       memory_model=memmodel.name if memmodel else "tso"):
             result = self._explore(invariants, start)
             OBS.count("explorer.states_admitted", result.states_visited)
@@ -270,11 +313,13 @@ class Explorer:
                 if state.termination.kind == "assert_failure":
                     result.assert_failures += 1
                 continue
-            transitions = machine.enabled_transitions(state)
+            transitions, computed = self._expand(state)
             if not transitions:
                 result.final_outcomes.add(("deadlock", state.log))
                 continue
-            used, successors = self._successors(state, transitions, seen)
+            used, successors = self._successors(
+                state, transitions, seen, computed
+            )
             for tr, nxt in zip(used, successors):
                 result.transitions_taken += 1
                 if nxt in seen:
@@ -321,6 +366,8 @@ def final_logs(
     machine: StateMachine,
     max_states: int = 2_000_000,
     por: AmpleReducer | bool | None = None,
+    compiled: bool = True,
 ) -> set:
     """All (termination kind, log) outcomes of a machine's behaviours."""
-    return Explorer(machine, max_states, por=por).explore().final_outcomes
+    explorer = Explorer(machine, max_states, por=por, compiled=compiled)
+    return explorer.explore().final_outcomes

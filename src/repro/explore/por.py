@@ -54,6 +54,7 @@ may inspect exactly such private state mid-stride (``--por`` opts in).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Container
 
@@ -63,6 +64,14 @@ from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.independence import IndependenceFacts
+
+
+#: Machine -> IndependenceFacts, shared across reducer instances so a
+#: fresh ``Explorer(machine, por=True)`` does not redo the static
+#: analysis (that recomputation is what made POR lose wall-time to full
+#: expansion on small graphs like barrier/BarrierImpl).
+_FACTS_CACHE: "weakref.WeakKeyDictionary[StateMachine, IndependenceFacts]"
+_FACTS_CACHE = weakref.WeakKeyDictionary()
 
 
 @dataclass
@@ -101,16 +110,42 @@ class AmpleReducer:
         self.machine = machine
         self._facts = facts
         self.stats = PorStats()
+        #: pc -> whether *every* step at that pc is statically local
+        #: (the per-(statement, footprint) classification, amortized
+        #: across states — the answer only depends on the pc).
+        self._pc_local: dict[str | None, bool] = {None: True}
 
     @property
     def facts(self) -> "IndependenceFacts":
         if self._facts is None:
+            cached = _FACTS_CACHE.get(self.machine)
+            if cached is not None:
+                self._facts = cached
+                return cached
             # Deferred: repro.analysis reaches back into the strategy
             # layer, which imports repro.explore.
             from repro.analysis.independence import step_independence
 
             self._facts = step_independence(self.machine.ctx, self.machine)
+            try:
+                _FACTS_CACHE[self.machine] = self._facts
+            except TypeError:  # unweakrefable machine stand-in (tests)
+                pass
         return self._facts
+
+    def _pc_all_local(self, pc: str | None) -> bool:
+        cached = self._pc_local.get(pc)
+        if cached is None:
+            # Every step at this pc — enabled or not — must be local,
+            # or a concurrently-enabled dependent twin could be missed
+            # (C1).
+            local_ids = self.facts.local_step_ids
+            cached = all(
+                id(step) in local_ids
+                for step in self.machine.steps_at(pc)
+            )
+            self._pc_local[pc] = cached
+        return cached
 
     # ------------------------------------------------------------------
 
@@ -129,13 +164,17 @@ class AmpleReducer:
         state: ProgramState,
         transitions: list[Transition],
         seen: Container[ProgramState],
+        successors: "list[ProgramState] | None" = None,
     ) -> tuple[list[Transition], list[ProgramState]] | None:
         """Select an ample subset of *transitions* at *state*.
 
         Returns ``(ample_transitions, their_successors)`` when a sound
         singleton-thread reduction exists, or ``None`` to request full
         expansion.  Successors are returned so the explorer does not
-        recompute them.
+        recompute them.  When the caller already has the successor of
+        every transition (the compiled stepper produces them as a
+        by-product), pass them as *successors* — the dynamic guard then
+        costs no extra ``next_state`` work at all.
         """
         if state.atomic_owner is not None or len(transitions) < 2:
             # Inside an atomic region only one thread schedules anyway;
@@ -143,29 +182,30 @@ class AmpleReducer:
             self.stats.full_states += 1
             return None
 
-        by_tid: dict[int, list[Transition]] = {}
-        for tr in transitions:
-            by_tid.setdefault(tr.tid, []).append(tr)
+        by_tid: dict[int, list[int]] = {}
+        for i, tr in enumerate(transitions):
+            by_tid.setdefault(tr.tid, []).append(i)
         if len(by_tid) < 2:
+            # Single runnable thread: nothing to prune, and no reason
+            # to run the dynamic guard (this is the common case in
+            # small graphs' sequential prologues/epilogues).
             self.stats.full_states += 1
             return None
 
-        local_ids = self.facts.local_step_ids
-        machine = self.machine
         for tid in sorted(by_tid):
-            candidate = by_tid[tid]
+            indices = by_tid[tid]
             thread = state.threads[tid]
             if not self._buffer_private(thread.store_buffer):
                 continue
-            if thread.pc is not None:
-                # Every step at this pc — enabled or not — must be
-                # local, or a concurrently-enabled dependent twin could
-                # be missed (C1).
-                pc_steps = machine.steps_at(thread.pc)
-                if any(id(step) not in local_ids for step in pc_steps):
-                    continue
-            successors = self._check_successors(state, candidate, seen)
-            if successors is None:
+            if not self._pc_all_local(thread.pc):
+                continue
+            candidate = [transitions[i] for i in indices]
+            checked = self._check_successors(
+                state, candidate, seen,
+                [successors[i] for i in indices]
+                if successors is not None else None,
+            )
+            if checked is None:
                 continue
             self.stats.ample_states += 1
             self.stats.transitions_pruned += (
@@ -175,7 +215,7 @@ class AmpleReducer:
                 OBS.count("por.ample_states")
                 OBS.count("por.transitions_pruned",
                           len(transitions) - len(candidate))
-            return candidate, successors
+            return candidate, checked
 
         self.stats.full_states += 1
         return None
@@ -187,6 +227,7 @@ class AmpleReducer:
         state: ProgramState,
         candidate: list[Transition],
         seen: Container[ProgramState],
+        computed: "list[ProgramState] | None" = None,
     ) -> list[ProgramState] | None:
         """Run the dynamic invisibility/commutation guard (C2, C3)."""
         machine = self.machine
@@ -194,8 +235,11 @@ class AmpleReducer:
         old_thread = state.threads[tid]
         old_sb = old_thread.store_buffer
         successors: list[ProgramState] = []
-        for tr in candidate:
-            nxt = machine.next_state(state, tr)
+        for k, tr in enumerate(candidate):
+            nxt = (
+                computed[k] if computed is not None
+                else machine.next_state(state, tr)
+            )
             if tr.is_drain:
                 # A drain of a private entry only pops the candidate's
                 # buffer and writes the private cell back; nothing else

@@ -120,7 +120,13 @@ class ThreadState:
 # Whole-program state
 
 
-@dataclass(frozen=True, slots=True)
+# Not ``frozen=True`` like the node classes above: successor states are
+# the explorer's hottest allocation, and the frozen-dataclass ``__init__``
+# (one ``object.__setattr__`` call per field) costs ~5x a plain slotted
+# store.  States are still immutable by convention — nothing in the
+# codebase mutates one after construction, and the memoized ``_hash``
+# relies on that.
+@dataclass(slots=True)
 class ProgramState:
     """The complete state of an Armada program (one level)."""
 

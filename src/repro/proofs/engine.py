@@ -158,6 +158,7 @@ class ProofEngine:
         por: bool = False,
         outcome_cache: "object | None" = None,
         memory_model: str | None = None,
+        compiled: bool = True,
     ) -> None:
         """``validate_refinement``: ``"always"`` runs the whole-program
         bounded simulation check for every pair, ``"auto"`` only when a
@@ -208,6 +209,11 @@ class ProofEngine:
         self.farm = farm or VerificationFarm()
         self.analyze = analyze
         self.por = por
+        # Compiled step specialization for every state sweep (bounded
+        # obligations, analyzer cross-checks).  Bit-identical to the
+        # interpreter, so deliberately NOT part of any cache
+        # fingerprint.
+        self.compiled = compiled
         self.outcome_cache = outcome_cache
         self._level_fingerprints: dict[str, str] = {}
         self._machines: dict[str, StateMachine] = {}
@@ -241,6 +247,7 @@ class ProofEngine:
                 machine=self.machine(level_name),
                 max_states=self.max_states,
                 memory_model=self.memory_model,
+                compiled=self.compiled,
             )
         return self._analyses[level_name]
 
@@ -328,6 +335,7 @@ class ProofEngine:
                 prover=self.prover,
                 max_states=self.max_states,
                 por=self.por,
+                compiled=self.compiled,
             )
             self._requests.append(request)
             if self.analyze:

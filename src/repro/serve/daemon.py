@@ -312,6 +312,7 @@ class ArmadaDaemon:
             por=bool(options.get("por", False)),
             outcome_cache=self.outcomes,
             memory_model=options.get("memory_model"),
+            compiled=bool(options.get("compiled", True)),
         )
         fingerprints = engine.level_fingerprints()
         diff = self.index.diff(job.name, fingerprints)
@@ -380,6 +381,7 @@ class ArmadaDaemon:
             max_states=int(options.get("max_states", 200_000)),
             dynamic=not options.get("no_dynamic", False),
             memory_model=options.get("memory_model"),
+            compiled=bool(options.get("compiled", True)),
         )
         return {
             "status": "analyzed",
@@ -410,6 +412,7 @@ class ArmadaDaemon:
             machine,
             max_states=int(options.get("max_states", 200_000)),
             por=bool(options.get("por", True)),
+            compiled=bool(options.get("compiled", True)),
         )
         result = explorer.explore()
         outcomes = sorted(

@@ -56,6 +56,10 @@ class ProofRequest:
     #: legitimately quantify over.  The engine's ``por=True`` opts in
     #: (and records the choice in the proof-cache fingerprint).
     por: bool = False
+    #: Use the compiled step specialization (repro.compiler.stepc) for
+    #: state sweeps.  Bit-identical to the interpreter; off only for
+    #: debugging or timing comparisons.
+    compiled: bool = True
     _reachable_cache: dict = field(default_factory=dict)
     _reducers: dict = field(default_factory=dict)
 
@@ -86,7 +90,8 @@ class ProofRequest:
 
             states = list(
                 Explorer(
-                    machine, self.max_states, por=self._por_for(machine)
+                    machine, self.max_states, por=self._por_for(machine),
+                    compiled=self.compiled,
                 ).reachable_states()
             )
             self._reachable_cache[key] = states

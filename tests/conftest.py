@@ -1,0 +1,23 @@
+"""Shared test configuration.
+
+Point the compiled-stepper source cache (repro.compiler.stepc) at a
+per-session temporary directory so test runs are hermetic: they never
+read a stale cache from ``~/.cache/armada/stepc`` and never leave one
+behind.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _stepc_cache_tmpdir(tmp_path_factory):
+    import os
+
+    path = tmp_path_factory.mktemp("stepc-cache")
+    previous = os.environ.get("ARMADA_STEPC_CACHE")
+    os.environ["ARMADA_STEPC_CACHE"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("ARMADA_STEPC_CACHE", None)
+    else:
+        os.environ["ARMADA_STEPC_CACHE"] = previous
