@@ -348,13 +348,21 @@ def extract_accesses(ctx: LevelContext, machine: StateMachine) -> AccessMap:
 
 @dataclass(frozen=True, slots=True)
 class ConcreteAccess:
-    """One leaf-cell access an enabled step would perform."""
+    """One leaf-cell access an enabled step would perform.
+
+    ``buffered`` marks writes that go through the firing thread's x86-TSO
+    store buffer (plain ``:=`` to a memory place): such a write is
+    invisible to every other thread until its drain — the drain, not the
+    write, is the conflicting action.  Atomic and ``::=`` stores mutate
+    memory directly and are never buffered.
+    """
 
     location: Location
     kind: str  # "read" | "write"
     atomic: bool
     pc: str
     step_desc: str
+    buffered: bool = False
 
 
 def _leaf_locations_of(location: Location, t: ty.Type) -> list[Location]:
@@ -384,24 +392,26 @@ class _FootprintCollector:
         self.ec = EvalContext(machine.ctx, state, tid, method, params)
         self.out: list[ConcreteAccess] = []
 
-    def _emit(self, place: Any, kind: str, atomic: bool) -> None:
+    def _emit(self, place: Any, kind: str, atomic: bool,
+              buffered: bool = False) -> None:
         if not isinstance(place, MemoryPlace):
             return
         desc = type(self.step).__name__
         for leaf in _leaf_locations_of(place.location, place.type):
             self.out.append(ConcreteAccess(
                 leaf, kind, atomic, self.step.pc, desc,
+                buffered=buffered and kind == "write",
             ))
 
     def _emit_lvalue(self, lhs: ast.Expr | None, kind: str = "write",
-                     atomic: bool = False) -> None:
+                     atomic: bool = False, buffered: bool = False) -> None:
         if lhs is None:
             return
         try:
             place = ev.eval_place(self.ec, lhs)
         except (UBSignal, KeyError, AssertionError):
             return
-        self._emit(place, kind, atomic)
+        self._emit(place, kind, atomic, buffered=buffered)
         self._reads(lhs, addressed=True)
 
     def _emit_pointer_arg(self, expr: ast.Expr, kinds: tuple[str, ...],
@@ -456,7 +466,7 @@ class _FootprintCollector:
         step = self.step
         if isinstance(step, AssignStep):
             for lhs in step.lhss:
-                self._emit_lvalue(lhs)
+                self._emit_lvalue(lhs, buffered=not step.tso_bypass)
             for rhs in step.rhss:
                 self._reads(rhs)
         elif isinstance(step, ExternStep):
@@ -472,7 +482,7 @@ class _FootprintCollector:
             else:
                 for arg in step.args:
                     self._reads(arg)
-            self._emit_lvalue(step.lhs)
+            self._emit_lvalue(step.lhs, buffered=True)
         elif isinstance(step, (SomehowStep, ExternSpecStep)):
             spec = step.spec
             for target in spec.modifies:
@@ -483,10 +493,10 @@ class _FootprintCollector:
                 for arg in step.args:
                     self._reads(arg)
         elif isinstance(step, MallocStep):
-            self._emit_lvalue(step.lhs)
+            self._emit_lvalue(step.lhs, buffered=True)
             self._reads(step.count)
         elif isinstance(step, CreateThreadStep):
-            self._emit_lvalue(step.lhs)
+            self._emit_lvalue(step.lhs, buffered=True)
             for arg in step.args:
                 self._reads(arg)
         elif isinstance(step, CallStep):

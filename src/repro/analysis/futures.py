@@ -1,0 +1,190 @@
+"""Forward-reachable access footprints, per program counter.
+
+The dynamic reducer (:mod:`repro.explore.dpor`) asks, at exploration
+time, a question the static classification cannot answer per-state:
+*from where thread u currently stands, which abstract locations can u
+(or anything u may still spawn) ever read or write?*  A location no
+other live thread can ever write again is safe for the candidate
+thread to read — even if the whole-program classification says the
+location is multithreaded.
+
+This module precomputes, once per machine, the forward closure of the
+static access map (:func:`repro.analysis.accesses.extract_accesses`)
+over the pc successor graph:
+
+* a step at pc ``p`` contributes its own accesses to ``future(p)``;
+* ``future(p)`` includes ``future(q)`` for every successor pc ``q``
+  (fall-through targets, branch targets, call entries);
+* a :class:`~repro.machine.steps.CreateThreadStep` folds the spawned
+  method's entire closure into ``future(p)`` — a thread that can still
+  spawn workers can, transitively, still cause every access those
+  workers perform;
+* a :class:`~repro.machine.steps.ReturnStep` contributes nothing: the
+  continuation after a return lives in the *caller's* frame, and the
+  runtime query (:meth:`FutureAccesses.thread_writes`) unions the
+  future sets of every ``return_pc`` on the thread's stack instead.
+
+The sets are over-approximations (every path is assumed reachable,
+every index collapses to its array), so a *miss* is a proof: if a
+location is absent from ``thread_writes(u)``, no continuation of
+thread *u* — nor any thread it can still create — ever stores to it.
+Pending store-buffer entries are **not** included here; they are
+concrete per-state data the reducer adds itself.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+from repro.machine.program import StateMachine
+from repro.machine.state import ThreadState
+from repro.machine.steps import (
+    CallStep,
+    CreateThreadStep,
+    DeallocStep,
+    ReturnStep,
+)
+
+from repro.analysis.accesses import AccessMap, extract_accesses
+
+#: Pseudo-location meaning "may write anything".  A pc whose future
+#: contains an effect the access map cannot name (``dealloc`` frees an
+#: aliased object, invalidating every reader of its region) poisons the
+#: whole closure; consumers must treat a set containing POISON as
+#: conflicting with every read.
+POISON = "*"
+
+
+@dataclass(frozen=True)
+class FutureAccesses:
+    """Per-pc forward-reachable abstract access sets of one machine."""
+
+    reads: dict[str, frozenset[str]]
+    writes: dict[str, frozenset[str]]
+
+    def pc_writes(self, pc: str | None) -> frozenset[str]:
+        if pc is None:
+            return frozenset()
+        return self.writes.get(pc, frozenset())
+
+    def pc_reads(self, pc: str | None) -> frozenset[str]:
+        if pc is None:
+            return frozenset()
+        return self.reads.get(pc, frozenset())
+
+    def thread_writes(self, thread: ThreadState) -> frozenset[str]:
+        """Every abstract location *thread* may still write, from its
+        current pc, through every frame it will return into, and via
+        every thread it may still spawn."""
+        acc = self.pc_writes(thread.pc)
+        for frame in thread.frames:
+            if frame.return_pc is not None:
+                acc = acc | self.pc_writes(frame.return_pc)
+        return acc
+
+    def thread_reads(self, thread: ThreadState) -> frozenset[str]:
+        acc = self.pc_reads(thread.pc)
+        for frame in thread.frames:
+            if frame.return_pc is not None:
+                acc = acc | self.pc_reads(frame.return_pc)
+        return acc
+
+
+_CACHE: "weakref.WeakKeyDictionary[StateMachine, FutureAccesses]"
+_CACHE = weakref.WeakKeyDictionary()
+
+
+def _pc_successors(machine: StateMachine, pc: str) -> set[str]:
+    """Successor pcs of *pc* in the forward-reachability graph."""
+    succ: set[str] = set()
+    for step in machine.steps_at(pc):
+        if step.target is not None:
+            succ.add(step.target)
+        if isinstance(step, (CallStep, CreateThreadStep)):
+            entry = machine.method_entry.get(step.method)
+            if entry is not None:
+                succ.add(entry)
+    return succ
+
+
+def future_accesses(
+    machine: StateMachine, access_map: AccessMap | None = None
+) -> FutureAccesses:
+    """The per-pc forward access closure of *machine* (cached)."""
+    cached = _CACHE.get(machine)
+    if cached is not None:
+        return cached
+    if access_map is None:
+        access_map = extract_accesses(machine.ctx, machine)
+
+    own_reads: dict[str, set[str]] = {}
+    own_writes: dict[str, set[str]] = {}
+    succs: dict[str, set[str]] = {}
+    preds: dict[str, set[str]] = {pc: set() for pc in machine.steps_by_pc}
+    for pc, steps in machine.steps_by_pc.items():
+        method = machine.pcs[pc].method
+        reads: set[str] = set()
+        writes: set[str] = set()
+        for step in steps:
+            for access in access_map.step_accesses(step):
+                (writes if access.kind == "write" else reads).add(
+                    access.location
+                )
+            # Frees are writes the access map does not record: a return
+            # frees the method's address-taken locals (readers through a
+            # pointer then hit UB), and dealloc frees a whole aliased
+            # allocation — only region analysis could name its targets,
+            # so it poisons the closure instead.
+            if isinstance(step, ReturnStep):
+                for name in machine.memory_locals.get(method, ()):
+                    writes.add(f"local:{method}:{name}")
+            elif isinstance(step, DeallocStep):
+                writes.add(POISON)
+        own_reads[pc] = reads
+        own_writes[pc] = writes
+        succs[pc] = {
+            q for q in _pc_successors(machine, pc)
+            if q in machine.steps_by_pc
+        }
+        for q in succs[pc]:
+            preds.setdefault(q, set())
+    for pc, qs in succs.items():
+        for q in qs:
+            preds[q].add(pc)
+
+    # Iterative backward-propagation fixpoint: future(p) ⊇ own(p) ∪
+    # future(q) for each successor q.  Worklist over predecessors; pc
+    # graphs are small (a few hundred nodes), so convergence is quick.
+    fut_reads: dict[str, set[str]] = {
+        pc: set(own_reads.get(pc, ())) for pc in preds
+    }
+    fut_writes: dict[str, set[str]] = {
+        pc: set(own_writes.get(pc, ())) for pc in preds
+    }
+    work = list(preds)
+    pending = set(work)
+    while work:
+        pc = work.pop()
+        pending.discard(pc)
+        reads = fut_reads[pc]
+        writes = fut_writes[pc]
+        for q in succs.get(pc, ()):
+            reads |= fut_reads[q]
+            writes |= fut_writes[q]
+        for p in preds.get(pc, ()):
+            if not (fut_reads[pc] <= fut_reads[p]
+                    and fut_writes[pc] <= fut_writes[p]):
+                if p not in pending:
+                    pending.add(p)
+                    work.append(p)
+
+    result = FutureAccesses(
+        reads={pc: frozenset(v) for pc, v in fut_reads.items()},
+        writes={pc: frozenset(v) for pc, v in fut_writes.items()},
+    )
+    try:
+        _CACHE[machine] = result
+    except TypeError:  # unweakrefable stand-in (tests)
+        pass
+    return result

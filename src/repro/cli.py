@@ -253,7 +253,8 @@ def _invariant_predicate(ctx, machine, source: str):
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from repro.explore import Explorer
+    from repro.errors import ArmadaError
+    from repro.farm.exploration import exploration_summary, run_exploration
     from repro.lang.frontend import check_program
     from repro.machine.translator import translate_level
 
@@ -271,11 +272,24 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         src: _invariant_predicate(ctx, machine, src)
         for src in (args.invariant or [])
     }
-    explorer = Explorer(
-        machine, max_states=args.max_states, por=args.por,
-        compiled=args.compiled,
-    )
-    result = explorer.explore(invariants=invariants or None)
+    # --por defaults to on; sharding runs the full fan-out, so the
+    # default-on static reduction is dropped rather than rejected
+    # (explicit --dpor/--symmetry with sharding still error).
+    por = args.por and not args.dpor and args.shard_workers <= 1
+    try:
+        result, disabled = run_exploration(
+            machine,
+            max_states=args.max_states,
+            por=por,
+            dpor=args.dpor,
+            symmetry=args.symmetry,
+            shard_workers=args.shard_workers,
+            compiled=args.compiled,
+            invariants=invariants or None,
+        )
+    except ArmadaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     outcomes = sorted(
         result.final_outcomes, key=lambda o: (o[0], tuple(map(str, o[1])))
@@ -283,43 +297,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
-        payload = {
-            "level": level,
-            "memory_model": machine.memmodel.name,
-            "states": result.states_visited,
-            "transitions": result.transitions_taken,
-            "outcomes": [
-                {"kind": kind, "log": list(log)} for kind, log in outcomes
-            ],
-            "ub": [
-                {
-                    "reason": reason,
-                    "trace": [t.describe() for t in trace],
-                }
-                for reason, trace in zip(result.ub_reasons,
-                                         result.ub_traces)
-            ],
-            "violations": [
-                {
-                    "invariant": v.invariant_name,
-                    "trace": [t.describe() for t in v.trace],
-                }
-                for v in result.violations
-            ],
-            "hit_state_budget": result.hit_state_budget,
-            "por": (
-                None if result.por_stats is None else {
-                    "ample_states": result.por_stats.ample_states,
-                    "full_states": result.por_stats.full_states,
-                    "transitions_pruned":
-                        result.por_stats.transitions_pruned,
-                }
-            ),
-        }
+        payload = exploration_summary(machine, level, result, disabled)
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"level {level}: {result.states_visited} states, "
               f"{result.transitions_taken} transitions explored")
+        if disabled is not None:
+            print(f"note: {disabled}")
         if result.por_stats is not None:
             print(result.por_stats.describe())
         if result.hit_state_budget:
@@ -602,8 +586,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         options["validate"] = args.validate
         options["analyze"] = args.analyze
         options["por"] = args.por
-    elif args.level is not None:
-        options["level"] = args.level
+    else:
+        if args.level is not None:
+            options["level"] = args.level
+        if args.kind == "explore":
+            options["por"] = args.por or not (
+                args.dpor or args.shard_workers > 1
+            )
+            options["dpor"] = args.dpor
+            options["symmetry"] = args.symmetry
+            options["shard_workers"] = args.shard_workers
     job_id = client.submit(
         source,
         kind=args.kind,
@@ -874,6 +866,26 @@ def build_parser() -> argparse.ArgumentParser:
              "are identical either way)",
     )
     p.add_argument(
+        "--dpor", action="store_true",
+        help="dynamic partial-order reduction with sleep sets "
+             "(footprints observed at exploration time; supersedes "
+             "--por; verdicts, UB reasons and invariant outcomes are "
+             "identical to the full fan-out)",
+    )
+    p.add_argument(
+        "--symmetry", action="store_true",
+        help="thread-symmetry reduction: canonicalize states over "
+             "interchangeable worker threads (composes with --por/"
+             "--dpor; verdict-preserving)",
+    )
+    p.add_argument(
+        "--shard-workers", type=int, default=0, metavar="N",
+        help="partition the state space across N forked worker "
+             "processes by state hash (full fan-out on every shard; "
+             "implies --no-por, rejects --dpor/--symmetry; merged "
+             "verdicts are identical to single-process exploration)",
+    )
+    p.add_argument(
         "--compiled", action=argparse.BooleanOptionalAction, default=True,
         help="compiled step specialization for state sweeps (default: "
              "on; bit-identical to the interpreter — states, UB "
@@ -1049,6 +1061,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the static analyzer alongside (verify)")
     p.add_argument("--por", action="store_true",
                    help="partial-order reduction for state sweeps")
+    p.add_argument("--dpor", action="store_true",
+                   help="dynamic partial-order reduction (explore)")
+    p.add_argument("--symmetry", action="store_true",
+                   help="thread-symmetry reduction (explore)")
+    p.add_argument("--shard-workers", type=int, default=0, metavar="N",
+                   help="sharded multi-process exploration (explore)")
     p.add_argument("--level", default=None,
                    help="level to analyze/explore (default: first)")
     p.add_argument(

@@ -2136,12 +2136,28 @@ def _cache_store(key: str, source: str) -> None:
 # Entry points
 
 
+@dataclasses.dataclass(frozen=True)
+class StepFootprint:
+    """Static access metadata for one step, exported to the
+    exploration-time reducers (:mod:`repro.explore.dpor`): the abstract
+    locations the step may read/write, whether every write is a plain
+    TSO-buffered store, whether any access is atomic, and whether the
+    step is ghost-free.  Derived once per machine from the analyzer's
+    access map and shared by every exploration of the stepper."""
+
+    reads: frozenset
+    writes: frozenset
+    buffered_writes_only: bool
+    atomic: bool
+    ghost_free: bool
+
+
 class CompiledStepper:
     """A compiled ``enabled_and_next`` plus its provenance."""
 
     __slots__ = (
         "machine", "fn", "source", "cache_key", "cache_hit",
-        "compiled_steps", "fallback_steps",
+        "compiled_steps", "fallback_steps", "_footprints",
     )
 
     def __init__(self, machine, fn, source, cache_key, cache_hit,
@@ -2153,6 +2169,7 @@ class CompiledStepper:
         self.cache_hit = cache_hit
         self.compiled_steps = compiled_steps
         self.fallback_steps = fallback_steps
+        self._footprints: dict[int, StepFootprint] | None = None
 
     def enabled_and_next(
         self, state: ProgramState
@@ -2160,6 +2177,45 @@ class CompiledStepper:
         return self.fn(state)
 
     __call__ = enabled_and_next
+
+    def step_footprints(self) -> dict[int, StepFootprint]:
+        """``id(step) -> StepFootprint`` for every step of the machine,
+        built lazily on first use (steps compare by identity, so the id
+        key is stable for the machine's lifetime)."""
+        table = self._footprints
+        if table is None:
+            # Deferred: repro.analysis reaches back into the strategy
+            # layer, which imports repro.explore and this module.
+            from repro.analysis.accesses import extract_accesses
+            from repro.analysis.independence import _mentions_ghost
+
+            machine = self.machine
+            amap = extract_accesses(machine.ctx, machine)
+            table = {}
+            for pc, steps in machine.steps_by_pc.items():
+                method = machine.pcs[pc].method
+                for step in steps:
+                    reads: set = set()
+                    writes: set = set()
+                    buffered_only = True
+                    atomic = False
+                    for access in amap.step_accesses(step):
+                        if access.kind == "write":
+                            writes.add(access.location)
+                            if not access.buffered or access.atomic:
+                                buffered_only = False
+                        else:
+                            reads.add(access.location)
+                        atomic = atomic or access.atomic
+                    table[id(step)] = StepFootprint(
+                        frozenset(reads), frozenset(writes),
+                        buffered_only, atomic,
+                        not _mentions_ghost(
+                            machine.ctx, method, step.reads_exprs()
+                        ),
+                    )
+            self._footprints = table
+        return table
 
 
 def compile_stepper(machine: StateMachine) -> CompiledStepper:

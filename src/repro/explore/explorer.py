@@ -22,12 +22,22 @@ Three contracts this module is careful about:
   shortest transition sequence that reproduces it from the initial
   state.
 
-Partial-order reduction (``por=True``) prunes provably-equivalent
-interleavings via :class:`~repro.explore.por.AmpleReducer`; the visited
-final outcomes, UB reasons and violations are unchanged, only the
-number of intermediate states shrinks.  Callers that inspect *every*
-state/transition pair for their own purposes (the analyzer's race scan)
-must leave it off.
+Reductions (all opt-in, all preserving verdicts, UB reasons and
+assertion outcomes):
+
+* ``por=True`` — static ample-set partial-order reduction
+  (:class:`~repro.explore.por.AmpleReducer`).
+* ``dpor=True`` — dynamic POR: the footprint-driven ample rule plus
+  sleep sets (:mod:`repro.explore.dpor`).  Implies the static rule.
+* ``symmetry=True`` — canonicalization over interchangeable worker
+  threads (:mod:`repro.explore.symmetry`).  With symmetry on, recorded
+  traces step between canonical representatives; replay them with
+  :func:`canonical_replay`.
+
+Memory models without POR support (C11 RA) silently fall back to
+unreduced exploration for all three — ``reductions_disabled`` records
+why.  Callers that inspect *every* state/transition pair for their own
+purposes (the analyzer's race scan) must leave all reductions off.
 """
 
 from __future__ import annotations
@@ -39,7 +49,9 @@ from typing import Callable, Iterable
 
 from repro.compiler.stepc import stepper_for
 from repro.errors import StateBudgetExceeded
+from repro.explore.dpor import DynamicReducer, SleepSets
 from repro.explore.por import AmpleReducer, PorStats
+from repro.explore.symmetry import SymmetryReducer
 from repro.machine.program import StateMachine, Transition
 from repro.machine.state import ProgramState, TERM_UB
 from repro.obs import OBS
@@ -50,7 +62,8 @@ class InvariantViolation:
     """A reachable state where a checked invariant failed.
 
     ``trace`` is the shortest transition sequence from the initial
-    state to ``state`` (replayable via ``machine.next_state``).
+    state to ``state`` (replayable via ``machine.next_state``, or
+    :func:`canonical_replay` when symmetry reduction was active).
     """
 
     state: ProgramState
@@ -74,7 +87,8 @@ class ExplorationResult:
     assert_failures: int = 0
     violations: list[InvariantViolation] = field(default_factory=list)
     hit_state_budget: bool = False
-    #: Reduction counters for this exploration (None when POR is off).
+    #: Reduction counters for this exploration (None when no reduction
+    #: — POR, dynamic POR, or symmetry — was active).
     por_stats: PorStats | None = None
 
     @property
@@ -86,13 +100,31 @@ class ExplorationResult:
         return not self.violations and not self.hit_state_budget
 
 
+class _CanonicalSeen:
+    """Membership view over the seen set modulo symmetry, for the
+    reducer's C3 check: a successor whose *representative* was already
+    admitted counts as seen."""
+
+    __slots__ = ("seen", "sym")
+
+    def __init__(self, seen: dict, sym: SymmetryReducer) -> None:
+        self.seen = seen
+        self.sym = sym
+
+    def __contains__(self, state: ProgramState) -> bool:
+        return self.sym.canonical(state) in self.seen
+
+
 class Explorer:
     """Breadth-first enumeration of the reachable state space.
 
-    ``por`` selects partial-order reduction: ``None``/``False`` for the
-    full interleaving fan-out, ``True`` to build a fresh
+    ``por`` selects static partial-order reduction: ``None``/``False``
+    for the full interleaving fan-out, ``True`` to build a fresh
     :class:`AmpleReducer` for this machine, or an existing reducer to
     share its (lazily computed) independence facts across explorations.
+    ``dpor`` selects the dynamic reducer (+ sleep sets) the same way
+    and takes precedence over ``por``; ``symmetry`` composes with
+    either (or stands alone).
     """
 
     def __init__(
@@ -101,23 +133,57 @@ class Explorer:
         max_states: int = 2_000_000,
         por: AmpleReducer | bool | None = None,
         compiled: bool = True,
+        dpor: "DynamicReducer | bool | None" = None,
+        symmetry: "SymmetryReducer | bool | None" = None,
     ) -> None:
         self.machine = machine
         self.max_states = max_states
         memmodel = getattr(machine, "memmodel", None)
-        if por and memmodel is not None and not memmodel.supports_por:
-            # The ample-set independence argument does not cover this
+        #: Why requested reductions were dropped (None when honoured).
+        self.reductions_disabled: str | None = None
+        if (por or dpor or symmetry) and memmodel is not None \
+                and not memmodel.supports_por:
+            # The independence/symmetry arguments do not cover this
             # model's environment moves (RA view advances); fall back
             # to full expansion rather than prune unsoundly.
-            por = None
-        if por is True:
-            por = AmpleReducer(machine)
-        self.reducer: AmpleReducer | None = por or None
+            self.reductions_disabled = (
+                f"memory model {memmodel.name} does not support "
+                f"reductions; exploring unreduced"
+            )
+            por = dpor = symmetry = None
+        reducer: AmpleReducer | None
+        if dpor:
+            reducer = (dpor if isinstance(dpor, DynamicReducer)
+                       else DynamicReducer(machine))
+        elif isinstance(por, AmpleReducer):
+            reducer = por
+        elif por:
+            reducer = AmpleReducer(machine)
+        else:
+            reducer = None
+        self.reducer = reducer
+        if symmetry:
+            self.symmetry: SymmetryReducer | None = (
+                symmetry if isinstance(symmetry, SymmetryReducer)
+                else SymmetryReducer(machine)
+            )
+        else:
+            self.symmetry = None
         # Compiled step specialization (repro.compiler.stepc): one flat
         # enabled_and_next(state) per machine, with automatic fallback
         # to the interpreter (stepper_for returns None for uncovered
         # machines, e.g. under the RA model).
         self.stepper = stepper_for(machine) if compiled else None
+        #: Sleep sets ride along with the dynamic reducer only: their
+        #: independence oracle shares its footprint machinery.  Both
+        #: borrow the compiled stepper's per-step footprint metadata
+        #: when available.
+        self.sleep: SleepSets | None = (
+            SleepSets(machine, stepper=self.stepper)
+            if isinstance(reducer, DynamicReducer) else None
+        )
+        if isinstance(reducer, DynamicReducer) and self.stepper is not None:
+            reducer.attach_stepper(self.stepper)
 
     # ------------------------------------------------------------------
 
@@ -136,7 +202,7 @@ class Explorer:
         self,
         state: ProgramState,
         transitions: list[Transition],
-        seen: dict,
+        seen,
         successors: list[ProgramState] | None = None,
     ) -> tuple[list[Transition], list[ProgramState]]:
         """Transitions to expand at *state* and their successor states
@@ -153,23 +219,33 @@ class Explorer:
             machine.next_state(state, tr) for tr in transitions
         ]
 
+    def _reducer_seen(self, seen: dict):
+        if self.symmetry is not None and self.reducer is not None:
+            return _CanonicalSeen(seen, self.symmetry)
+        return seen
+
     def reachable_states(
         self, start: ProgramState | None = None
     ) -> Iterable[ProgramState]:
         """Yield every reachable state (deduplicated) in BFS order.
 
-        At most ``max_states`` states are yielded.  If the state space
-        was not exhausted within the budget, raises
+        Under symmetry reduction the canonical representatives are
+        yielded.  At most ``max_states`` states are yielded.  If the
+        state space was not exhausted within the budget, raises
         :class:`StateBudgetExceeded` *after* the final yield — callers
         consuming the enumeration as evidence of full coverage fail
         loudly instead of silently accepting a truncated sweep.
         """
         machine = self.machine
+        sym = self.symmetry
         initial = start if start is not None else machine.initial_state()
+        if sym is not None:
+            initial = sym.canonical(initial)
         # The seen dict doubles as the interning table: each admitted
         # state is its own canonical representative, and equal
         # successors are dropped after one (cached-) hash lookup.
         seen: dict[ProgramState, ProgramState] = {initial: initial}
+        reducer_seen = self._reducer_seen(seen)
         frontier: deque[ProgramState] = deque((initial,))
         truncated = False
         intern_hits = 0
@@ -184,9 +260,11 @@ class Explorer:
                 continue
             transitions, computed = self._expand(state)
             _, successors = self._successors(
-                state, transitions, seen, computed
+                state, transitions, reducer_seen, computed
             )
             for nxt in successors:
+                if sym is not None:
+                    nxt = sym.canonical(nxt)
                 if nxt in seen:
                     intern_hits += 1
                     continue
@@ -212,11 +290,12 @@ class Explorer:
         transitions (the ingredients of the analyzer's dynamic race
         scan).  *visit* always receives the **full** enabled-transition
         list — POR only narrows which successors are expanded, never
-        what a visitor observes at a state.  *visit* returns ``False``
-        to stop early.  ``walk`` returns ``True`` iff the bounded state
-        space was covered completely: no early stop and no state-budget
-        hit — only then may a caller treat the absence of a witness as
-        a refutation.
+        what a visitor observes at a state.  Symmetry canonicalization
+        is deliberately *not* applied here: the analyzer inspects raw
+        states.  *visit* returns ``False`` to stop early.  ``walk``
+        returns ``True`` iff the bounded state space was covered
+        completely: no early stop and no state-budget hit — only then
+        may a caller treat the absence of a witness as a refutation.
         """
         machine = self.machine
         initial = start if start is not None else machine.initial_state()
@@ -264,6 +343,8 @@ class Explorer:
         memmodel = getattr(self.machine, "memmodel", None)
         with OBS.span("explore", "phase", level=self.machine.level_name,
                       por=self.reducer is not None,
+                      dpor=isinstance(self.reducer, DynamicReducer),
+                      symmetry=self.symmetry is not None,
                       compiled=self.stepper is not None,
                       memory_model=memmodel.name if memmodel else "tso"):
             result = self._explore(invariants, start)
@@ -278,50 +359,118 @@ class Explorer:
         start: ProgramState | None = None,
     ) -> ExplorationResult:
         machine = self.machine
+        sym = self.symmetry
+        sleep_sets = self.sleep
         initial = start if start is not None else machine.initial_state()
+        if sym is not None:
+            initial = sym.canonical(initial)
         result = ExplorationResult()
         stats_before = (
             dataclasses.replace(self.reducer.stats)
             if self.reducer is not None else None
         )
+        sym_before = sym.canonicalized if sym is not None else 0
         seen: dict[ProgramState, ProgramState] = {initial: initial}
+        reducer_seen = self._reducer_seen(seen)
         parents: dict[
             ProgramState, tuple[ProgramState, Transition] | None
         ] = {initial: None}
         frontier: deque[ProgramState] = deque((initial,))
         intern_hits = 0
+        sleep_pruned = 0
+        #: Per-state sleep sets and re-expansion bookkeeping (dynamic
+        #: POR only).  A state re-reached with a smaller sleep set than
+        #: it was expanded with is re-expanded on the intersection —
+        #: sets only shrink, so this terminates.
+        sleep: dict[ProgramState, frozenset] = (
+            {initial: frozenset()} if sleep_sets is not None else {}
+        )
+        expanded: set[ProgramState] = set()
+        queued: set[ProgramState] = {initial}
         while frontier:
             state = frontier.popleft()
-            result.states_visited += 1
-            if invariants:
-                for name, predicate in invariants.items():
-                    try:
-                        holds = predicate(state)
-                    except Exception:  # predicate crashed: count as failure
-                        holds = False
-                    if not holds:
-                        result.violations.append(InvariantViolation(
-                            state, name, trace=_trace_to(parents, state),
-                        ))
-            if state.termination is not None:
-                result.final_outcomes.add(
-                    (state.termination.kind, state.log)
-                )
-                if state.termination.kind == TERM_UB:
-                    result.ub_reasons.append(state.termination.detail)
-                    result.ub_traces.append(_trace_to(parents, state))
-                if state.termination.kind == "assert_failure":
-                    result.assert_failures += 1
+            queued.discard(state)
+            first = state not in expanded
+            expanded.add(state)
+            if first:
+                result.states_visited += 1
+                if invariants:
+                    for name, predicate in invariants.items():
+                        try:
+                            holds = predicate(state)
+                        except Exception:  # predicate crashed: failure
+                            holds = False
+                        if not holds:
+                            result.violations.append(InvariantViolation(
+                                state, name,
+                                trace=_trace_to(parents, state),
+                            ))
+                if state.termination is not None:
+                    result.final_outcomes.add(
+                        (state.termination.kind, state.log)
+                    )
+                    if state.termination.kind == TERM_UB:
+                        result.ub_reasons.append(state.termination.detail)
+                        result.ub_traces.append(_trace_to(parents, state))
+                    if state.termination.kind == "assert_failure":
+                        result.assert_failures += 1
+                    continue
+            elif state.termination is not None:  # pragma: no cover
                 continue
             transitions, computed = self._expand(state)
             if not transitions:
-                result.final_outcomes.add(("deadlock", state.log))
+                if first:
+                    result.final_outcomes.add(("deadlock", state.log))
                 continue
             used, successors = self._successors(
-                state, transitions, seen, computed
+                state, transitions, reducer_seen, computed
             )
+            if sleep_sets is not None:
+                active_idx, asleep = sleep_sets.split(
+                    used, sleep.get(state, frozenset())
+                )
+                sleep_pruned += len(used) - len(active_idx)
+                fp_cache: dict = {}
+                carried: list[Transition] = list(asleep)
+                for i in active_idx:
+                    tr = used[i]
+                    nxt = successors[i]
+                    result.transitions_taken += 1
+                    succ_sleep = sleep_sets.successor_sleep(
+                        state, tr, carried, fp_cache
+                    )
+                    carried.append(tr)
+                    if sym is not None:
+                        canon = sym.canonical(nxt)
+                        if canon is not nxt:
+                            # Sleep entries name transitions by tid;
+                            # the renaming invalidates them.
+                            succ_sleep = frozenset()
+                            nxt = canon
+                    if nxt in seen:
+                        intern_hits += 1
+                        if nxt.termination is None:
+                            stored = sleep.get(nxt, frozenset())
+                            inter = stored & succ_sleep
+                            if inter != stored:
+                                sleep[nxt] = inter
+                                if nxt in expanded and nxt not in queued:
+                                    queued.add(nxt)
+                                    frontier.append(nxt)
+                        continue
+                    if len(seen) >= self.max_states:
+                        result.hit_state_budget = True
+                        continue
+                    seen[nxt] = nxt
+                    sleep[nxt] = succ_sleep
+                    parents[nxt] = (state, tr)
+                    queued.add(nxt)
+                    frontier.append(nxt)
+                continue
             for tr, nxt in zip(used, successors):
                 result.transitions_taken += 1
+                if sym is not None:
+                    nxt = sym.canonical(nxt)
                 if nxt in seen:
                     intern_hits += 1
                     continue
@@ -333,15 +482,33 @@ class Explorer:
                 frontier.append(nxt)
         if OBS.enabled:
             OBS.count("explorer.intern_hits", intern_hits)
-        if self.reducer is not None and stats_before is not None:
-            after = self.reducer.stats
+            if sleep_pruned:
+                OBS.count("dpor.sleep_pruned", sleep_pruned)
+        sym_merged = (sym.canonicalized - sym_before) if sym is not None \
+            else 0
+        if self.reducer is not None or sym is not None \
+                or sleep_sets is not None:
+            after = self.reducer.stats if self.reducer is not None else None
             result.por_stats = PorStats(
-                ample_states=after.ample_states - stats_before.ample_states,
-                full_states=after.full_states - stats_before.full_states,
+                ample_states=(
+                    after.ample_states - stats_before.ample_states
+                    if after is not None else 0
+                ),
+                full_states=(
+                    after.full_states - stats_before.full_states
+                    if after is not None else 0
+                ),
                 transitions_pruned=(
                     after.transitions_pruned
                     - stats_before.transitions_pruned
+                    if after is not None else 0
                 ),
+                dynamic_states=(
+                    after.dynamic_states - stats_before.dynamic_states
+                    if after is not None else 0
+                ),
+                sleep_pruned=sleep_pruned,
+                symmetry_merged=sym_merged,
             )
         return result
 
@@ -360,6 +527,26 @@ def _trace_to(
         trace.append(transition)
     trace.reverse()
     return tuple(trace)
+
+
+def canonical_replay(
+    machine: StateMachine,
+    trace: Iterable[Transition],
+    symmetry: SymmetryReducer | None = None,
+    start: ProgramState | None = None,
+) -> ProgramState:
+    """Replay *trace* from the initial state, canonicalizing after each
+    step when *symmetry* is given — the replay discipline for traces
+    recorded by a symmetry-reduced exploration (each recorded
+    transition fired from a canonical representative)."""
+    state = start if start is not None else machine.initial_state()
+    if symmetry is not None:
+        state = symmetry.canonical(state)
+    for tr in trace:
+        state = machine.next_state(state, tr)
+        if symmetry is not None:
+            state = symmetry.canonical(state)
+    return state
 
 
 def final_logs(

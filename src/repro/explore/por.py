@@ -81,18 +81,35 @@ class PorStats:
     ample_states: int = 0  #: states expanded via a singleton-thread ample set
     full_states: int = 0  #: states that needed the full fan-out
     transitions_pruned: int = 0  #: enabled transitions not explored
+    #: Ample states admitted by the dynamic buffered-write rule
+    #: specifically (:class:`repro.explore.dpor.DynamicReducer`).
+    dynamic_states: int = 0
+    #: Enabled transitions skipped because they were asleep.
+    sleep_pruned: int = 0
+    #: Successor states folded into a symmetric representative.
+    symmetry_merged: int = 0
 
     def describe(self) -> str:
         total = self.ample_states + self.full_states
-        return (
+        text = (
             f"POR: {self.ample_states}/{total} states reduced, "
             f"{self.transitions_pruned} transitions pruned"
         )
+        if self.dynamic_states:
+            text += f", {self.dynamic_states} via dynamic rule"
+        if self.sleep_pruned:
+            text += f", {self.sleep_pruned} slept"
+        if self.symmetry_merged:
+            text += f", {self.symmetry_merged} symmetry-merged"
+        return text
 
     def merge(self, other: "PorStats") -> None:
         self.ample_states += other.ample_states
         self.full_states += other.full_states
         self.transitions_pruned += other.transitions_pruned
+        self.dynamic_states += other.dynamic_states
+        self.sleep_pruned += other.sleep_pruned
+        self.symmetry_merged += other.symmetry_merged
 
 
 class AmpleReducer:

@@ -1,0 +1,260 @@
+"""Thread-symmetry reduction: canonicalize interchangeable threads.
+
+Two states that differ only by a permutation of *indistinguishable*
+worker threads generate permutation-isomorphic futures: every outcome,
+UB reason, log, and invariant over shared state reachable from one is
+reachable from the other.  Folding each such orbit into one canonical
+representative before interning can shrink the explored space by up to
+``k!`` for ``k`` interchangeable workers.
+
+Renaming a thread is only an isomorphism when nothing in the state can
+*name* it or its stack.  The reducer therefore enforces, conservatively:
+
+* **No ``$me``** anywhere in the machine's steps.  ``$me`` evaluates to
+  the firing thread's tid, so a renamed thread would observe a
+  different value (machine-wide static check; disables the reducer).
+* **No address-taken locals** in any method
+  (``machine.memory_locals``).  Frame serials then appear *only* in the
+  inert ``Frame.serial`` label — no pointer, memory root, or allocation
+  entry can reference a stack frame — so serials can be relabeled along
+  with the permutation (machine-wide static check).
+* **No tid value in program data.**  Join handles
+  (``h := create_thread ...``) store the spawned tid into a variable;
+  renaming that thread would break the later ``join h``.  Scanned per
+  state: any candidate tid found as an integer anywhere in memory,
+  ghosts, the log, locals, or store buffers is pinned (exact ``int``
+  scan; ``bool`` excluded since ``True == 1``).
+* The **main thread** (tid 1 — program exit is tied to it) and the
+  current ``atomic_owner`` are always pinned.
+
+Candidates are grouped by *shape* (pc + frame-method stack); a group of
+``k >= 2`` unpinned same-shape threads is sorted by a deterministic
+*structural key* over its masked content (type-tagged tuples, not
+``hash()`` — stable across forked worker processes), then reassigned
+the group's own sorted tids and sorted frame serials in that order.
+Isomorphic states sort their matching threads identically, so they
+rebuild the same representative.
+
+Interaction with traces: the explorer expands canonical representatives
+only, so recorded parent transitions are valid at their (canonical)
+source state; replaying a trace requires re-canonicalizing after each
+step (``repro.explore`` exposes ``canonical_replay``).  The case
+studies spawn a single worker whose handle is joined, so symmetry
+no-ops there (shape groups of one) — it pays off on fire-and-forget
+worker pools, and the shape precheck keeps the no-op cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.lang import asts as ast
+from repro.machine.pmap import PMap
+from repro.machine.program import StateMachine
+from repro.machine.state import ProgramState, ThreadState
+from repro.machine.values import CompositeValue, Location, Pointer
+from repro.obs import OBS
+
+
+def _machine_mentions_me(machine: StateMachine) -> bool:
+    for step in machine.all_steps():
+        exprs = list(step.reads_exprs())
+        spec = getattr(step, "spec", None)
+        if spec is not None:
+            for attr in ("requires", "ensures", "modifies"):
+                exprs.extend(getattr(spec, attr, ()) or ())
+        for expr in exprs:
+            if expr is None:
+                continue
+            for node in ast.walk_expr(expr):
+                if isinstance(node, ast.MetaVar) and node.name == "me":
+                    return True
+    return False
+
+
+class SymmetryReducer:
+    """Per-machine canonicalizer over interchangeable worker threads."""
+
+    def __init__(self, machine: StateMachine) -> None:
+        self.machine = machine
+        self.disabled_reason: str | None = None
+        memmodel = getattr(machine, "memmodel", None)
+        if memmodel is not None and not memmodel.supports_por:
+            self.disabled_reason = (
+                f"memory model {memmodel.name} does not support reductions"
+            )
+        elif any(machine.memory_locals.values()):
+            self.disabled_reason = (
+                "address-taken locals pin stack frames"
+            )
+        elif _machine_mentions_me(machine):
+            self.disabled_reason = "$me exposes thread identity"
+        #: States actually rewritten to a different representative.
+        self.canonicalized = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.disabled_reason is None
+
+    # ------------------------------------------------------------------
+
+    def canonical(self, state: ProgramState) -> ProgramState:
+        """The canonical representative of *state*'s symmetry orbit
+        (*state* itself when no group of interchangeable threads
+        exists)."""
+        if self.disabled_reason is not None:
+            return state
+        threads = state.threads
+        if len(threads) < 3:  # main + at most one worker: nothing to permute
+            return state
+        groups: dict[tuple, list[int]] = {}
+        for tid, thread in threads.items():
+            if tid == 1 or tid == state.atomic_owner:
+                continue
+            shape = (thread.pc, tuple(f.method for f in thread.frames))
+            groups.setdefault(shape, []).append(tid)
+        groups = {s: ts for s, ts in groups.items() if len(ts) >= 2}
+        if not groups:
+            return state
+
+        candidate = set()
+        for ts in groups.values():
+            candidate.update(ts)
+        pinned = self._data_tids(state, candidate)
+        if pinned:
+            groups = {
+                s: kept for s, ts in groups.items()
+                if len(kept := [t for t in ts if t not in pinned]) >= 2
+            }
+            if not groups:
+                return state
+
+        new_threads: dict[int, ThreadState] = {}
+        for tids in groups.values():
+            members = sorted(
+                tids, key=lambda t: _thread_key(threads[t])
+            )
+            serials = sorted(
+                f.serial for t in members for f in threads[t].frames
+            )
+            si = 0
+            for new_tid, old_tid in zip(sorted(tids), members):
+                thread = threads[old_tid]
+                frames = []
+                changed = new_tid != old_tid
+                for frame in thread.frames:
+                    ns = serials[si]
+                    si += 1
+                    if ns != frame.serial:
+                        frame = replace(frame, serial=ns)
+                        changed = True
+                    frames.append(frame)
+                if changed:
+                    thread = replace(
+                        thread, tid=new_tid, frames=tuple(frames)
+                    )
+                    new_threads[new_tid] = thread
+        if not new_threads:
+            return state
+        items = dict(threads.items())
+        for tids in groups.values():
+            for t in tids:
+                items.pop(t, None)
+        for tid, thread in new_threads.items():
+            items[tid] = thread
+        # Unchanged group members were popped and must be restored under
+        # their (identical) tids.
+        for tid in set().union(*map(set, groups.values())):
+            if tid not in items:
+                items[tid] = threads[tid]
+        self.canonicalized += 1
+        if OBS.enabled:
+            OBS.count("symmetry.canonicalized")
+        return replace(state, threads=PMap(items))
+
+    # ------------------------------------------------------------------
+
+    def _data_tids(
+        self, state: ProgramState, candidate: set[int]
+    ) -> set[int]:
+        """Candidate tids stored as integers anywhere in program data."""
+        found: set[int] = set()
+
+        def scan(value: Any) -> None:
+            if type(value) is int:
+                if value in candidate:
+                    found.add(value)
+            elif isinstance(value, CompositeValue):
+                for child in value.children:
+                    scan(child)
+            elif isinstance(value, (tuple, list, frozenset)):
+                for child in value:
+                    scan(child)
+
+        for value in state.memory.values():
+            scan(value)
+        for value in state.ghosts.values():
+            scan(value)
+        for entry in state.log:
+            scan(entry)
+        for thread in state.threads.values():
+            for frame in thread.frames:
+                for value in frame.locals.values():
+                    scan(value)
+            for _loc, value in thread.store_buffer:
+                scan(value)
+        return found
+
+
+# ---------------------------------------------------------------------------
+# Structural ordering keys.  Deliberately not hash()-based: string hashes
+# are randomized per process, and sharded workers must sort identically.
+
+
+def _thread_key(thread: ThreadState) -> tuple:
+    return (
+        thread.pc or "",
+        tuple(
+            (f.method, _pmap_key(f.locals), f.return_pc or "",
+             _value_key(f.return_lhs_key))
+            for f in thread.frames
+        ),
+        tuple(
+            (_location_key(loc), _value_key(v))
+            for loc, v in thread.store_buffer
+        ),
+    )
+
+
+def _pmap_key(m: PMap) -> tuple:
+    return tuple(sorted(
+        (str(k), _value_key(v)) for k, v in m.items()
+    ))
+
+
+def _location_key(location: Location) -> tuple:
+    root = location.root
+    return (root.kind, root.name, root.serial, location.path)
+
+
+def _value_key(value: Any) -> tuple:
+    if value is None:
+        return ("n",)
+    if type(value) is bool:
+        return ("b", value)
+    if type(value) is int:
+        return ("i", value)
+    if type(value) is str:
+        return ("s", value)
+    if isinstance(value, Pointer):
+        return ("p", _location_key(value.location))
+    if isinstance(value, CompositeValue):
+        return ("c", tuple(_value_key(c) for c in value.children))
+    if isinstance(value, tuple):
+        return ("t", tuple(_value_key(c) for c in value))
+    if isinstance(value, frozenset):
+        return ("fs", tuple(sorted(_value_key(c) for c in value)))
+    if isinstance(value, PMap):
+        return ("m", _pmap_key(value))
+    return ("r", type(value).__name__, repr(value))

@@ -20,6 +20,9 @@ Layers (bottom-up):
   policy (see :mod:`repro.faults`).
 * :mod:`repro.farm.journal` — append-only settled-verdict log for
   crash-safe resume (``armada verify --journal``).
+* :mod:`repro.farm.exploration` — state-space exploration as a third
+  job kind (full / POR / dynamic POR / symmetry / sharded), sharing
+  flag semantics and output shape across the CLI and the daemon.
 * :mod:`repro.farm.workers` — runs the queue sequentially, on a thread
   pool, or on a process pool (with inline fallback for non-picklable
   obligations, crash detection, and pool respawn), and applies verdicts
@@ -62,6 +65,11 @@ from repro.farm.events import (  # noqa: F401
     EventLog,
     FarmEvent,
     FarmSummary,
+)
+from repro.farm.exploration import (  # noqa: F401
+    exploration_job,
+    exploration_summary,
+    run_exploration,
 )
 from repro.farm.journal import Journal  # noqa: F401
 from repro.farm.resilience import (  # noqa: F401

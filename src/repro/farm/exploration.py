@@ -1,0 +1,184 @@
+"""Exploration as a farm job kind.
+
+The farm historically schedules two kinds of checkable unit: lemma
+obligations and whole-program refinement checks.  This module adds a
+third — **state-space exploration**.  A level is enumerated under an
+optional reduction stack (static POR, dynamic POR + sleep sets,
+thread-symmetry, or hash-sharded multi-process partitioning; see
+:mod:`repro.explore`) and the verdict is rendered as a JSON-able
+summary.
+
+Every exploration entry point — ``armada explore``, ``armada submit
+--kind explore``, and the serve daemon — routes through
+:func:`run_exploration` / :func:`exploration_summary`, so they agree on
+flag semantics (what combines with what, how unsupported memory models
+degrade) and on the output shape.
+
+Flag semantics, shared by all entry points:
+
+* ``dpor`` takes precedence over ``por`` (the dynamic reducer subsumes
+  the static one); ``symmetry`` composes with either.
+* ``shard_workers > 1`` selects the sharded explorer, which runs the
+  full fan-out on every shard — combining it with a reduction flag is
+  rejected rather than silently ignored.
+* Under a memory model without reduction support (release/acquire),
+  the explorer drops the reduction flags and explores unreduced; the
+  summary carries the reason in ``reductions_disabled``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ArmadaError
+from repro.farm.cache import structural_hash
+from repro.farm.scheduler import Job
+from repro.obs import OBS
+
+
+def run_exploration(
+    machine: Any,
+    *,
+    max_states: int = 200_000,
+    por: bool = False,
+    dpor: bool = False,
+    symmetry: bool = False,
+    shard_workers: int = 0,
+    compiled: bool = True,
+    invariants: dict[str, Callable] | None = None,
+) -> tuple[Any, str | None]:
+    """Explore *machine* under the requested reduction stack.
+
+    Returns ``(result, reductions_disabled)`` where the second element
+    is the explorer's reason for dropping requested reductions (``None``
+    when they were honoured).  Raises :class:`ArmadaError` on flag
+    combinations with no sound meaning.
+    """
+    workers = int(shard_workers or 0)
+    if workers > 1:
+        if por or dpor or symmetry:
+            raise ArmadaError(
+                "sharded exploration partitions the full fan-out across "
+                "shards and cannot compose with --por/--dpor/--symmetry "
+                "(per-shard reductions would prune against an incomplete "
+                "seen set); drop the reduction flags or --shard-workers"
+            )
+        from repro.explore.sharded import ShardedExplorer
+
+        result = ShardedExplorer(
+            machine, workers=workers, max_states=max_states,
+            compiled=compiled,
+        ).explore(invariants)
+        return result, None
+    from repro.explore import Explorer
+
+    explorer = Explorer(
+        machine, max_states=max_states, por=por, dpor=dpor,
+        symmetry=symmetry, compiled=compiled,
+    )
+    return explorer.explore(invariants), explorer.reductions_disabled
+
+
+def exploration_summary(
+    machine: Any,
+    level: str,
+    result: Any,
+    reductions_disabled: str | None = None,
+) -> dict[str, Any]:
+    """Render an :class:`~repro.explore.explorer.ExplorationResult` as
+    the JSON-able payload shared by the CLI, the daemon, and farm jobs."""
+    outcomes = sorted(
+        result.final_outcomes,
+        key=lambda o: (o[0], tuple(map(str, o[1]))),
+    )
+    stats = result.por_stats
+    memmodel = getattr(machine, "memmodel", None)
+    return {
+        "level": level,
+        "memory_model": memmodel.name if memmodel is not None else "tso",
+        "states": result.states_visited,
+        "transitions": result.transitions_taken,
+        "outcomes": [
+            {"kind": kind, "log": list(log)} for kind, log in outcomes
+        ],
+        "ub": [
+            {"reason": reason, "trace": [t.describe() for t in trace]}
+            for reason, trace in zip(result.ub_reasons, result.ub_traces)
+        ],
+        "violations": [
+            {
+                "invariant": v.invariant_name,
+                "trace": [t.describe() for t in v.trace],
+            }
+            for v in result.violations
+        ],
+        "hit_state_budget": result.hit_state_budget,
+        "reductions_disabled": reductions_disabled,
+        "por": (
+            None if stats is None else {
+                "ample_states": stats.ample_states,
+                "full_states": stats.full_states,
+                "transitions_pruned": stats.transitions_pruned,
+                "dynamic_states": stats.dynamic_states,
+                "sleep_pruned": stats.sleep_pruned,
+                "symmetry_merged": stats.symmetry_merged,
+            }
+        ),
+    }
+
+
+def exploration_job(
+    machine: Any,
+    level: str,
+    *,
+    max_states: int = 200_000,
+    por: bool = False,
+    dpor: bool = False,
+    symmetry: bool = False,
+    shard_workers: int = 0,
+    compiled: bool = True,
+    invariants: dict[str, Callable] | None = None,
+    apply: Callable[[Any], None] | None = None,
+) -> Job:
+    """One exploration as a farm queue citizen.
+
+    Like whole-program refinement checks, the job is keyed by identity
+    (level name + flags) and non-cacheable: its input is a state
+    machine, which the structural hash does not cover.  The thunk
+    returns the :func:`exploration_summary` payload.
+    """
+
+    def thunk() -> dict[str, Any]:
+        result, disabled = run_exploration(
+            machine,
+            max_states=max_states,
+            por=por,
+            dpor=dpor,
+            symmetry=symmetry,
+            shard_workers=shard_workers,
+            compiled=compiled,
+            invariants=invariants,
+        )
+        return exploration_summary(machine, level, result, disabled)
+
+    if OBS.enabled:
+        OBS.count("farm.exploration_jobs_scheduled")
+    mode = (
+        f"sharded-{shard_workers}" if int(shard_workers or 0) > 1
+        else "dpor+symmetry" if dpor and symmetry
+        else "dpor" if dpor
+        else "por+symmetry" if por and symmetry
+        else "por" if por
+        else "symmetry" if symmetry
+        else "full"
+    )
+    return Job(
+        key=structural_hash(
+            "exploration", level, mode, str(max_states), str(compiled)
+        ),
+        label=f"{level}:Exploration[{mode}]",
+        thunk=thunk,
+        apply=apply if apply is not None else (lambda _result: None),
+        cacheable=False,
+        wrap_errors=False,
+    )

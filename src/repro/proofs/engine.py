@@ -155,7 +155,7 @@ class ProofEngine:
         validate_refinement: str = "auto",
         farm: VerificationFarm | None = None,
         analyze: bool = False,
-        por: bool = False,
+        por: "bool | str" = False,
         outcome_cache: "object | None" = None,
         memory_model: str | None = None,
         compiled: bool = True,
@@ -174,13 +174,16 @@ class ProofEngine:
         trivial discharge for provably thread-local locations), and
         collect recipe advisories into ``ChainOutcome.analysis_notes``.
 
-        ``por``: enable ample-set partial-order reduction for the state
-        sweeps obligations perform.  Off by default — sound for every
+        ``por``: enable partial-order reduction for the state sweeps
+        obligations perform.  Off by default — sound for every
         property over multithreaded shared state, but an obligation
         predicate may quantify over intermediate private-thread
         configurations that reduction elides (see
-        :mod:`repro.explore.por`).  The choice is part of the farm
-        cache fingerprint, so reduced and unreduced verdicts never mix.
+        :mod:`repro.explore.por`).  ``True`` selects the static ample
+        rule; the string ``"dynamic"`` selects the dynamic reducer
+        (:mod:`repro.explore.dpor`), which observes footprints at
+        exploration time.  The mode is part of the farm cache
+        fingerprint, so differently-reduced verdicts never mix.
 
         ``outcome_cache``: an object with ``get(key) -> ProofOutcome |
         None`` and ``put(key, outcome)`` (see
@@ -379,7 +382,7 @@ class ProofEngine:
             )
         return (
             f"{self.prover.fingerprint()}|max_states={self.max_states}"
-            f"|por={'on' if self.por else 'off'}"
+            f"|por={self.por if isinstance(self.por, str) else ('on' if self.por else 'off')}"
             f"|mm={self.memory_model}|{domain_part}"
         )
 

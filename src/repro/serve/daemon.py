@@ -392,7 +392,10 @@ class ArmadaDaemon:
         }
 
     def _run_explore(self, job: ServeJob) -> dict[str, Any]:
-        from repro.explore import Explorer
+        from repro.farm.exploration import (
+            exploration_summary,
+            run_exploration,
+        )
         from repro.lang.frontend import check_program
         from repro.machine.translator import translate_level
 
@@ -408,40 +411,21 @@ class ArmadaDaemon:
         machine = translate_level(
             ctx, memory_model=options.get("memory_model")
         )
-        explorer = Explorer(
+        dpor = bool(options.get("dpor", False))
+        shard_workers = int(options.get("shard_workers", 0))
+        result, disabled = run_exploration(
             machine,
             max_states=int(options.get("max_states", 200_000)),
-            por=bool(options.get("por", True)),
+            por=bool(options.get("por", True)) and not dpor
+            and shard_workers <= 1,
+            dpor=dpor,
+            symmetry=bool(options.get("symmetry", False)),
+            shard_workers=shard_workers,
             compiled=bool(options.get("compiled", True)),
         )
-        result = explorer.explore()
-        outcomes = sorted(
-            result.final_outcomes,
-            key=lambda o: (o[0], tuple(map(str, o[1]))),
-        )
-        return {
-            "status": "explored",
-            "level": level,
-            "memory_model": machine.memmodel.name,
-            "states": result.states_visited,
-            "transitions": result.transitions_taken,
-            "outcomes": [
-                {"kind": kind, "log": list(log)}
-                for kind, log in outcomes
-            ],
-            "ub": [
-                {"reason": reason,
-                 "trace": [t.describe() for t in trace]}
-                for reason, trace in zip(result.ub_reasons,
-                                         result.ub_traces)
-            ],
-            "violations": [
-                {"invariant": v.invariant_name,
-                 "trace": [t.describe() for t in v.trace]}
-                for v in result.violations
-            ],
-            "hit_state_budget": result.hit_state_budget,
-        }
+        summary = exploration_summary(machine, level, result, disabled)
+        summary["status"] = "explored"
+        return summary
 
     # ------------------------------------------------------------------
     # worker tasks (event loop side)

@@ -49,13 +49,16 @@ class ProofRequest:
     #: consult it for fast paths (e.g. tso_elim discharges ownership
     #: obligations trivially for provably thread-local locations).
     analysis: Any = None
-    #: Enable ample-set partial-order reduction for the state sweeps
-    #: obligations perform.  Off by default: POR preserves outcomes and
+    #: Enable partial-order reduction for the state sweeps obligations
+    #: perform.  Off by default: POR preserves outcomes and
     #: multithreaded shared state but may hide intermediate *private*
     #: thread configurations, which an obligation predicate could
     #: legitimately quantify over.  The engine's ``por=True`` opts in
-    #: (and records the choice in the proof-cache fingerprint).
-    por: bool = False
+    #: to the static ample rule; ``por="dynamic"`` selects the dynamic
+    #: reducer (exploration-time footprints; see
+    #: :mod:`repro.explore.dpor`).  Either choice is recorded in the
+    #: proof-cache fingerprint.
+    por: "bool | str" = False
     #: Use the compiled step specialization (repro.compiler.stepc) for
     #: state sweeps.  Bit-identical to the interpreter; off only for
     #: debugging or timing comparisons.
@@ -71,9 +74,14 @@ class ProofRequest:
             return None
         key = id(machine)
         if key not in self._reducers:
-            from repro.explore.por import AmpleReducer
+            if self.por == "dynamic":
+                from repro.explore.dpor import DynamicReducer
 
-            self._reducers[key] = AmpleReducer(machine)
+                self._reducers[key] = DynamicReducer(machine)
+            else:
+                from repro.explore.por import AmpleReducer
+
+                self._reducers[key] = AmpleReducer(machine)
         return self._reducers[key]
 
     def reachable_states(self, machine: StateMachine) -> list[ProgramState]:

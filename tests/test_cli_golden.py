@@ -43,15 +43,18 @@ class TestJsonSchemas:
         payload = json.loads(capsys.readouterr().out)
         assert sorted(payload) == [
             "hit_state_budget", "level", "memory_model", "outcomes",
-            "por", "states", "transitions", "ub", "violations",
+            "por", "reductions_disabled", "states", "transitions",
+            "ub", "violations",
         ]
         assert payload["memory_model"] == "tso"
         assert payload["level"] == "L"
         assert payload["states"] > 0
+        assert payload["reductions_disabled"] is None
         for outcome in payload["outcomes"]:
             assert sorted(outcome) == ["kind", "log"]
         assert sorted(payload["por"]) == [
-            "ample_states", "full_states", "transitions_pruned",
+            "ample_states", "dynamic_states", "full_states",
+            "sleep_pruned", "symmetry_merged", "transitions_pruned",
         ]
 
     def test_explore_json_violation_rows(self, toy_file, capsys):

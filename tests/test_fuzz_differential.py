@@ -15,7 +15,11 @@ final stores:
   outcome must produce the identical print log;
 * two-threaded lock-protected programs may have several outcomes, but
   a compiled execution must land on one the explorer enumerated, and
-  POR-on/POR-off explorations must enumerate the *same* outcome set.
+  POR-on/POR-off explorations must enumerate the *same* outcome set;
+* the whole reduction stack — dynamic POR + sleep sets, thread
+  symmetry, and hash-sharded two-worker partitioning — agrees with the
+  full fan-out on every random machine, and counterexample traces
+  found under reduction replay on a fresh unreduced machine.
 
 ``derandomize=True`` keeps CI deterministic: the same ≥50 programs run
 every time, and any divergence reproduces locally from the printed
@@ -203,6 +207,91 @@ def test_por_preserves_outcome_set(source):
     reduced = _explore(source, por=True)
     assert _outcome_set(full) == _outcome_set(reduced), source
     assert sorted(full.ub_reasons) == sorted(reduced.ub_reasons), source
+
+
+@settings(max_examples=15, derandomize=True, deadline=None)
+@given(source=_two_thread_program())
+def test_dpor_and_symmetry_preserve_outcome_set(source):
+    """Dynamic POR with sleep sets, alone and composed with
+    thread-symmetry, agrees with the full fan-out on outcomes, UB and
+    assertion presence — on every generated machine."""
+    full = _explore(source, por=False)
+    for kwargs in ({"dpor": True}, {"dpor": True, "symmetry": True}):
+        machine = translate_level(check_level(source))
+        reduced = Explorer(machine, 60_000, **kwargs).explore()
+        assert not reduced.hit_state_budget, source
+        assert _outcome_set(full) == _outcome_set(reduced), \
+            (kwargs, source)
+        assert set(full.ub_reasons) == set(reduced.ub_reasons), \
+            (kwargs, source)
+        assert bool(full.assert_failures) == \
+            bool(reduced.assert_failures), (kwargs, source)
+
+
+@settings(max_examples=8, derandomize=True, deadline=None)
+@given(source=_two_thread_program())
+def test_sharded_matches_full_exactly(source):
+    """Hash-sharded two-worker exploration is a partition of the full
+    fan-out: identical state and transition counts, identical
+    outcomes."""
+    from repro.explore import ShardedExplorer
+
+    full = _explore(source, por=False)
+    machine = translate_level(check_level(source))
+    sharded = ShardedExplorer(
+        machine, workers=2, max_states=60_000
+    ).explore()
+    assert sharded.states_visited == full.states_visited, source
+    assert sharded.transitions_taken == full.transitions_taken, source
+    assert _outcome_set(full) == _outcome_set(sharded), source
+    assert set(full.ub_reasons) == set(sharded.ub_reasons), source
+
+
+@st.composite
+def _racy_div_program(draw) -> str:
+    """An unprotected divisor race: some interleavings divide by zero.
+    Exercises counterexample traces under reduction."""
+    init = draw(st.integers(min_value=1, max_value=9))
+    pre = draw(st.integers(min_value=0, max_value=3))
+    filler = " ".join("u := u + 1;" for _ in range(pre))
+    return (
+        f"level L {{ var d: uint32 := {init}; var out: uint32 := 0; "
+        "void z() { d := 0; } "
+        "void main() { var a: uint64 := 0; var t: uint32 := 0; "
+        f"var u: uint32 := 0; a := create_thread z(); {filler} "
+        "t := d; out := 10 / t; join a; fence(); } }"
+    )
+
+
+@settings(max_examples=10, derandomize=True, deadline=None)
+@given(source=_racy_div_program())
+def test_reduced_counterexample_traces_replay_unreduced(source):
+    """Every UB trace a reduced (or sharded) exploration reports must
+    replay, transition by transition, on a fresh *unreduced* machine to
+    the exact claimed failure — reductions may shrink the search, never
+    fabricate a witness."""
+    from repro.explore import ShardedExplorer, canonical_replay
+    from repro.machine.state import TERM_UB
+
+    full = _explore(source, por=False)
+    assert full.has_ub, source
+
+    def check(result):
+        assert set(result.ub_reasons) == set(full.ub_reasons), source
+        for reason, trace in zip(result.ub_reasons, result.ub_traces):
+            fresh = translate_level(check_level(source))
+            final = canonical_replay(fresh, trace)
+            assert final.termination is not None, source
+            assert final.termination.kind == TERM_UB, source
+            assert final.termination.detail == reason, source
+
+    for kwargs in ({"dpor": True}, {"dpor": True, "symmetry": True}):
+        machine = translate_level(check_level(source))
+        check(Explorer(machine, 60_000, **kwargs).explore())
+    machine = translate_level(check_level(source))
+    check(
+        ShardedExplorer(machine, workers=2, max_states=60_000).explore()
+    )
 
 
 @settings(max_examples=15, derandomize=True, deadline=None)
