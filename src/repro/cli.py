@@ -122,7 +122,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         validate_refinement=args.validate, farm=farm,
         analyze=args.analyze, por=args.por,
         memory_model=args.memory_model,
-        compiled=args.compiled,
+        compiled=args.compiled, atomic=args.atomic,
     )
     if args.trace:
         try:
@@ -283,6 +283,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             por=por,
             dpor=args.dpor,
             symmetry=args.symmetry,
+            atomic=args.atomic,
             shard_workers=args.shard_workers,
             compiled=args.compiled,
             invariants=invariants or None,
@@ -306,6 +307,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             print(f"note: {disabled}")
         if result.por_stats is not None:
             print(result.por_stats.describe())
+        if result.atomic_stats is not None:
+            print(result.atomic_stats.describe())
         if result.hit_state_budget:
             print(f"WARNING: state budget ({args.max_states}) exhausted "
                   "— the enumeration is incomplete; raise --max-states")
@@ -586,6 +589,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         options["validate"] = args.validate
         options["analyze"] = args.analyze
         options["por"] = args.por
+        options["atomic"] = args.atomic
     else:
         if args.level is not None:
             options["level"] = args.level
@@ -595,6 +599,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             )
             options["dpor"] = args.dpor
             options["symmetry"] = args.symmetry
+            options["atomic"] = args.atomic
             options["shard_workers"] = args.shard_workers
     job_id = client.submit(
         source,
@@ -815,6 +820,15 @@ def build_parser() -> argparse.ArgumentParser:
              "specializer does not cover fall back automatically)",
     )
     p.add_argument(
+        "--atomic", action=argparse.BooleanOptionalAction, default=False,
+        help="regular-to-atomic reduction (sec. 4.2.2): collapse runs "
+             "of non-PC-breaking local statements into atomic blocks — "
+             "obligation sweeps hide chain-interior states and "
+             "consecutive statement lemmas merge into single farm "
+             "jobs; verdicts are unchanged; self-disables under "
+             "--memory-model ra; part of the proof-cache key",
+    )
+    p.add_argument(
         "--trace", default=None, metavar="FILE",
         help="record a JSONL span/metric trace of the run "
              "(inspect with 'armada stats FILE')",
@@ -879,11 +893,20 @@ def build_parser() -> argparse.ArgumentParser:
              "--dpor; verdict-preserving)",
     )
     p.add_argument(
+        "--atomic", action=argparse.BooleanOptionalAction, default=False,
+        help="regular-to-atomic lift: runs of non-PC-breaking local "
+             "steps execute as single atomic actions, hiding interior "
+             "states (composes with --por/--dpor/--symmetry; outcomes, "
+             "UB reasons and shared-state invariant verdicts are "
+             "identical; self-disables under --memory-model ra)",
+    )
+    p.add_argument(
         "--shard-workers", type=int, default=0, metavar="N",
         help="partition the state space across N forked worker "
              "processes by state hash (full fan-out on every shard; "
-             "implies --no-por, rejects --dpor/--symmetry; merged "
-             "verdicts are identical to single-process exploration)",
+             "implies --no-por, rejects --dpor/--symmetry/--atomic; "
+             "merged verdicts are identical to single-process "
+             "exploration)",
     )
     p.add_argument(
         "--compiled", action=argparse.BooleanOptionalAction, default=True,
@@ -1065,6 +1088,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dynamic partial-order reduction (explore)")
     p.add_argument("--symmetry", action="store_true",
                    help="thread-symmetry reduction (explore)")
+    p.add_argument("--atomic", action="store_true",
+                   help="regular-to-atomic reduction (verify and "
+                        "explore)")
     p.add_argument("--shard-workers", type=int, default=0, metavar="N",
                    help="sharded multi-process exploration (explore)")
     p.add_argument("--level", default=None,

@@ -3,6 +3,13 @@ partial-order reduction (static and dynamic), symmetry reduction,
 sharded parallel exploration, and refinement (simulation) checking."""
 
 from repro.errors import StateBudgetExceeded  # noqa: F401
+from repro.explore.atomic import (  # noqa: F401
+    AtomicClassification,
+    AtomicLift,
+    AtomicStats,
+    MacroTransition,
+    classify_atomic,
+)
 from repro.explore.dpor import (  # noqa: F401
     DynamicReducer,
     SleepSets,

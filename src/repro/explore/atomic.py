@@ -1,0 +1,322 @@
+"""Regular-to-atomic state-space lift (SNIPPETS.md: F* RegularToAtomic).
+
+Armada's experimental ``Strategies.RegularToAtomic`` collapses runs of
+non-*PC-breaking* statements into single atomic actions: a program
+counter is *breaking* when the step there is visible to other threads
+(shared reads/writes under the active memory model, fences, RMWs, lock
+operations, thread create/join, output), nondeterministic, a loop head,
+or a method entry (``armada_created_threads_initially_breaking``).
+Everything between two breaking PCs executes as one indivisible action.
+
+This module is the exploration-side half of that transformation: a
+:class:`AtomicLift` extends each explored transition whose firing
+thread lands on a non-breaking PC by running that thread's (unique,
+deterministic) local steps until it reaches the next breaking PC.  The
+intermediate ("hidden") states are never admitted to the seen set, so
+the sweep visits strictly fewer states while preserving every verdict.
+
+Soundness (see DESIGN.md "Regular-to-atomic" for the full argument):
+
+* A *chainable* step is an ``Assign``/``Branch``/``Assume`` step that
+  the POR independence facts classify as local
+  (:func:`repro.analysis.independence.step_independence`) **and** that
+  performs **zero** shared-memory writes per the analyzer's access map.
+  Such a step commutes in both directions with every transition of
+  every other thread, and a hidden state differs from its chain end
+  only in the chained thread's PC and registers — shared memory,
+  ghosts, buffers and logs are bit-identical, so invariants over
+  shared state cannot distinguish them.
+* Chaining is exactly the ample-set rule instantiated with a singleton
+  provably-independent deterministic step; the cycle proviso (C3) is
+  discharged by classifying every loop head as breaking: any cycle
+  must pass a breaking PC, where the full fan-out happens.
+* A chain ends early — which is always sound, it merely exposes an
+  intermediate state — whenever the step is blocked (a false
+  ``assume``: deadlock parity), more than one step is enabled, the
+  program terminated (UB surfaces exactly where the full sweep puts
+  it), or the ``MAX_CHAIN`` safety bound trips.
+
+Memory models whose environment moves the independence argument does
+not cover (C11 RA) disable the classification wholesale, as do levels
+whose footprint extraction fails: :func:`classify_atomic` then reports
+a ``disabled`` reason and the explorer falls back to the plain sweep.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.machine.program import Transition
+from repro.machine.state import ProgramState, UBSignal
+from repro.machine.steps import AssignStep, AssumeStep, BranchStep, Step
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.program import StateMachine
+
+
+@dataclass(frozen=True)
+class MacroTransition:
+    """One atomic action: a base transition plus the chained local
+    steps of the same thread.  Stored in the explorer's parent map;
+    :func:`repro.explore.explorer._trace_to` flattens it back into its
+    micro :class:`Transition` list, so recorded traces replay on any
+    fresh machine with the ordinary ``next_state``."""
+
+    tid: int
+    micro: tuple[Transition, ...]
+
+    @property
+    def is_drain(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        first = self.micro[0]
+        inner = first.describe()
+        return f"t{self.tid}:atomic[{len(self.micro)}]({inner}...)"
+
+
+@dataclass(frozen=True)
+class AtomicClassification:
+    """Per-PC breaking verdicts for one machine.
+
+    ``breaking`` maps every PC to its verdict; ``reasons`` records why
+    each breaking PC breaks (tests and ``describe`` want the
+    explanation, not just the bit); ``chain_pcs`` is the non-breaking
+    complement the lift consults on the hot path.  ``disabled`` is the
+    reason the whole classification is unavailable (RA model, footprint
+    extraction failure) — conservative self-disable, never a guess."""
+
+    breaking: dict[str, bool] = field(default_factory=dict)
+    reasons: dict[str, str] = field(default_factory=dict)
+    chain_pcs: frozenset[str] = frozenset()
+    loop_heads: frozenset[str] = frozenset()
+    disabled: str | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.disabled is None and bool(self.chain_pcs)
+
+    def describe(self) -> str:
+        if self.disabled is not None:
+            return f"atomic lift disabled: {self.disabled}"
+        total = len(self.breaking)
+        return (
+            f"atomic: {len(self.chain_pcs)}/{total} pcs non-breaking"
+        )
+
+
+@dataclass
+class AtomicStats:
+    """Counters for one lift's activity."""
+
+    chains: int = 0
+    micro_absorbed: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"atomic: {self.chains} chains absorbed "
+            f"{self.micro_absorbed} micro-steps"
+        )
+
+
+def step_breaking_reason(
+    step: Step, facts, access_map
+) -> str | None:
+    """Why *step* must end an atomic block (``None`` = chainable).
+
+    The rule is strictly narrower than POR locality: a local step may
+    still write a *private* global (invisible to other threads but
+    visible to invariant predicates over shared state), so chainable
+    steps additionally require an empty write footprint.
+    """
+    if not isinstance(step, (AssignStep, BranchStep, AssumeStep)):
+        return f"{type(step).__name__} is thread-visible"
+    if id(step) not in facts.local_step_ids:
+        return "not provably independent of other threads"
+    if step.nondet_vars():
+        return "encapsulated nondeterminism"
+    if isinstance(step, BranchStep) and step.cond is None:
+        return "nondeterministic guard"
+    for access in access_map.step_accesses(step):
+        if access.kind == "write":
+            return f"shared write to {access.location}"
+    return None
+
+
+def _loop_heads(machine: "StateMachine") -> frozenset[str]:
+    """PCs that are targets of back edges (``target.index <=
+    source.index`` within one method) — the F* snippet's loop heads,
+    which must break so every cycle crosses a breaking PC."""
+    heads: set[str] = set()
+    pcs = machine.pcs
+    for pc, steps in machine.steps_by_pc.items():
+        source = pcs.get(pc)
+        if source is None:
+            continue
+        for step in steps:
+            target = pcs.get(step.target) if step.target else None
+            if (
+                target is not None
+                and target.method == source.method
+                and target.index <= source.index
+            ):
+                heads.add(step.target)
+    return frozenset(heads)
+
+
+def _classify(machine: "StateMachine") -> AtomicClassification:
+    memmodel = getattr(machine, "memmodel", None)
+    if memmodel is not None and not memmodel.supports_por:
+        return AtomicClassification(
+            disabled=(
+                f"memory model {memmodel.name} does not support the "
+                "atomic lift"
+            ),
+        )
+    ctx = getattr(machine, "ctx", None)
+    if ctx is None:
+        return AtomicClassification(
+            disabled="machine exposes no level context"
+        )
+    try:
+        from repro.analysis.accesses import extract_accesses
+        from repro.analysis.independence import step_independence
+
+        access_map = extract_accesses(ctx, machine)
+        facts = step_independence(ctx, machine, access_map)
+    except Exception as error:
+        # Any PC whose classification is unknown must be breaking; if
+        # the footprint extraction fails outright, every PC is unknown
+        # and the lift self-disables.
+        return AtomicClassification(
+            disabled=f"classification unavailable: {error}"
+        )
+
+    loop_heads = _loop_heads(machine)
+    entries = set(machine.method_entry.values())
+    breaking: dict[str, bool] = {}
+    reasons: dict[str, str] = {}
+    for pc in machine.pcs:
+        steps = machine.steps_by_pc.get(pc, [])
+        reason: str | None = None
+        if not steps:
+            reason = "terminal pc (no steps)"
+        elif not machine.pcs[pc].yieldable:
+            reason = "inside an explicit atomic region"
+        elif pc in entries:
+            reason = "method entry (created threads start breaking)"
+        elif pc in loop_heads:
+            reason = "loop head (cycle proviso)"
+        else:
+            for step in steps:
+                reason = step_breaking_reason(step, facts, access_map)
+                if reason is not None:
+                    break
+        breaking[pc] = reason is not None
+        if reason is not None:
+            reasons[pc] = reason
+    return AtomicClassification(
+        breaking=breaking,
+        reasons=reasons,
+        chain_pcs=frozenset(
+            pc for pc, broke in breaking.items() if not broke
+        ),
+        loop_heads=loop_heads,
+    )
+
+
+#: Classification is a whole-machine static analysis; cache it per
+#: machine so repeated Explorer constructions (one per obligation
+#: sweep) pay for it once.  Mirrors ``por._FACTS_CACHE``.
+_CLASS_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def classify_atomic(machine: "StateMachine") -> AtomicClassification:
+    """The (cached) breaking/non-breaking classification of *machine*."""
+    try:
+        cached = _CLASS_CACHE.get(machine)
+    except TypeError:  # unweakrefable stand-ins in tests
+        cached = None
+    if cached is not None:
+        return cached
+    result = _classify(machine)
+    try:
+        _CLASS_CACHE[machine] = result
+    except TypeError:
+        pass
+    return result
+
+
+class AtomicLift:
+    """Extends explored transitions through non-breaking PCs.
+
+    ``chain(tr, nxt)`` returns the transition/successor pair to admit:
+    either the inputs unchanged, or a :class:`MacroTransition` whose
+    end state has the firing thread parked on a breaking PC (or
+    blocked, ambiguous, terminated — see the module docstring)."""
+
+    #: Safety bound on chain length.  Loop heads are breaking, so a
+    #: well-classified machine can never hit it; it turns a classifier
+    #: bug into a shorter chain (sound) instead of a hang.
+    MAX_CHAIN = 128
+
+    def __init__(
+        self,
+        machine: "StateMachine",
+        classification: AtomicClassification | None = None,
+    ) -> None:
+        self.machine = machine
+        self.classification = (
+            classification if classification is not None
+            else classify_atomic(machine)
+        )
+        self.stats = AtomicStats()
+
+    def chain(
+        self, tr: Transition, nxt: ProgramState
+    ) -> tuple[Transition | MacroTransition, ProgramState]:
+        chain_pcs = self.classification.chain_pcs
+        if tr.is_drain or not chain_pcs or nxt.termination is not None:
+            return tr, nxt
+        machine = self.machine
+        tid = tr.tid
+        micro = [tr]
+        cur = nxt
+        while len(micro) <= self.MAX_CHAIN:
+            thread = cur.threads.get(tid)
+            if thread is None or thread.pc is None:
+                break
+            pc = thread.pc
+            if pc not in chain_pcs:
+                break
+            if cur.atomic_owner not in (None, tid):
+                break  # pragma: no cover - chained pcs are yieldable
+            chosen: Step | None = None
+            ambiguous = False
+            for step in machine.steps_at(pc):
+                try:
+                    ok = step.enabled(machine, cur, tid, {})
+                except UBSignal:
+                    ok = True  # UB is not blocking; it fires and crashes
+                if not ok:
+                    continue
+                if chosen is not None:
+                    ambiguous = True
+                    break
+                chosen = step
+            if chosen is None or ambiguous:
+                # Blocked (assume) or more than one continuation: the
+                # state stays visible, exactly like the full sweep.
+                break
+            step_tr = Transition(tid, chosen, ())
+            cur = machine.next_state(cur, step_tr)
+            micro.append(step_tr)
+            if cur.termination is not None:
+                break
+        if len(micro) == 1:
+            return tr, nxt
+        self.stats.chains += 1
+        self.stats.micro_absorbed += len(micro) - 1
+        return MacroTransition(tid=tid, micro=tuple(micro)), cur

@@ -33,10 +33,15 @@ assertion outcomes):
   threads (:mod:`repro.explore.symmetry`).  With symmetry on, recorded
   traces step between canonical representatives; replay them with
   :func:`canonical_replay`.
+* ``atomic=True`` — the regular-to-atomic lift
+  (:mod:`repro.explore.atomic`): runs of non-PC-breaking local steps
+  execute as single atomic actions, hiding the intermediate states.
+  Recorded traces flatten macro actions back into micro transitions,
+  so they replay with plain ``next_state``.
 
 Memory models without POR support (C11 RA) silently fall back to
-unreduced exploration for all three — ``reductions_disabled`` records
-why.  Callers that inspect *every* state/transition pair for their own
+unreduced exploration for all of these — ``reductions_disabled``
+records why.  Callers that inspect *every* state/transition pair for their own
 purposes (the analyzer's race scan) must leave all reductions off.
 """
 
@@ -49,6 +54,7 @@ from typing import Callable, Iterable
 
 from repro.compiler.stepc import stepper_for
 from repro.errors import StateBudgetExceeded
+from repro.explore.atomic import AtomicLift, AtomicStats, MacroTransition
 from repro.explore.dpor import DynamicReducer, SleepSets
 from repro.explore.por import AmpleReducer, PorStats
 from repro.explore.symmetry import SymmetryReducer
@@ -90,6 +96,9 @@ class ExplorationResult:
     #: Reduction counters for this exploration (None when no reduction
     #: — POR, dynamic POR, or symmetry — was active).
     por_stats: PorStats | None = None
+    #: Chain counters from the regular-to-atomic lift (None when the
+    #: lift was off or self-disabled).
+    atomic_stats: "AtomicStats | None" = None
 
     @property
     def has_ub(self) -> bool:
@@ -124,7 +133,10 @@ class Explorer:
     share its (lazily computed) independence facts across explorations.
     ``dpor`` selects the dynamic reducer (+ sleep sets) the same way
     and takes precedence over ``por``; ``symmetry`` composes with
-    either (or stands alone).
+    either (or stands alone).  ``atomic`` turns on the
+    regular-to-atomic lift (:class:`~repro.explore.atomic.AtomicLift`
+    or ``True`` for a fresh one); it composes with every reduction and
+    self-disables when the machine's classification is unavailable.
     """
 
     def __init__(
@@ -135,13 +147,14 @@ class Explorer:
         compiled: bool = True,
         dpor: "DynamicReducer | bool | None" = None,
         symmetry: "SymmetryReducer | bool | None" = None,
+        atomic: "AtomicLift | bool | None" = None,
     ) -> None:
         self.machine = machine
         self.max_states = max_states
         memmodel = getattr(machine, "memmodel", None)
         #: Why requested reductions were dropped (None when honoured).
         self.reductions_disabled: str | None = None
-        if (por or dpor or symmetry) and memmodel is not None \
+        if (por or dpor or symmetry or atomic) and memmodel is not None \
                 and not memmodel.supports_por:
             # The independence/symmetry arguments do not cover this
             # model's environment moves (RA view advances); fall back
@@ -150,7 +163,22 @@ class Explorer:
                 f"memory model {memmodel.name} does not support "
                 f"reductions; exploring unreduced"
             )
-            por = dpor = symmetry = None
+            por = dpor = symmetry = atomic = None
+        if atomic:
+            lift = (atomic if isinstance(atomic, AtomicLift)
+                    else AtomicLift(machine))
+            if not lift.classification.enabled:
+                # Conservative self-disable: unknown classification or
+                # no non-breaking PC means there is nothing to chain.
+                if lift.classification.disabled is not None \
+                        and self.reductions_disabled is None:
+                    self.reductions_disabled = (
+                        lift.classification.describe()
+                    )
+                lift = None
+            self.atomic: AtomicLift | None = lift
+        else:
+            self.atomic = None
         reducer: AmpleReducer | None
         if dpor:
             reducer = (dpor if isinstance(dpor, DynamicReducer)
@@ -259,9 +287,14 @@ class Explorer:
                 # the states already admitted.
                 continue
             transitions, computed = self._expand(state)
-            _, successors = self._successors(
+            used, successors = self._successors(
                 state, transitions, reducer_seen, computed
             )
+            if self.atomic is not None:
+                successors = [
+                    self.atomic.chain(tr, nxt)[1]
+                    for tr, nxt in zip(used, successors)
+                ]
             for nxt in successors:
                 if sym is not None:
                     nxt = sym.canonical(nxt)
@@ -345,12 +378,17 @@ class Explorer:
                       por=self.reducer is not None,
                       dpor=isinstance(self.reducer, DynamicReducer),
                       symmetry=self.symmetry is not None,
+                      atomic=self.atomic is not None,
                       compiled=self.stepper is not None,
                       memory_model=memmodel.name if memmodel else "tso"):
             result = self._explore(invariants, start)
             OBS.count("explorer.states_admitted", result.states_visited)
             OBS.count("explorer.transitions_taken",
                       result.transitions_taken)
+            if self.atomic is not None:
+                OBS.count("atomic.chains", self.atomic.stats.chains)
+                OBS.count("atomic.micro_absorbed",
+                          self.atomic.stats.micro_absorbed)
             return result
 
     def _explore(
@@ -440,6 +478,16 @@ class Explorer:
                         state, tr, carried, fp_cache
                     )
                     carried.append(tr)
+                    if self.atomic is not None:
+                        chained_tr, chained_nxt = self.atomic.chain(
+                            tr, nxt
+                        )
+                        if chained_tr is not tr:
+                            # The sleep set was derived for the
+                            # pre-chain successor; drop it rather than
+                            # carry it across the macro edge.
+                            succ_sleep = frozenset()
+                            tr, nxt = chained_tr, chained_nxt
                     if sym is not None:
                         canon = sym.canonical(nxt)
                         if canon is not nxt:
@@ -469,6 +517,8 @@ class Explorer:
                 continue
             for tr, nxt in zip(used, successors):
                 result.transitions_taken += 1
+                if self.atomic is not None:
+                    tr, nxt = self.atomic.chain(tr, nxt)
                 if sym is not None:
                     nxt = sym.canonical(nxt)
                 if nxt in seen:
@@ -510,13 +560,17 @@ class Explorer:
                 sleep_pruned=sleep_pruned,
                 symmetry_merged=sym_merged,
             )
+        if self.atomic is not None:
+            result.atomic_stats = self.atomic.stats
         return result
 
 
 def _trace_to(
     parents: dict, state: ProgramState
 ) -> tuple[Transition, ...]:
-    """Walk the parent pointers back to the initial state."""
+    """Walk the parent pointers back to the initial state.  Macro
+    transitions recorded by the atomic lift are flattened back into
+    their micro steps so the trace replays with plain ``next_state``."""
     trace: list[Transition] = []
     current = state
     while True:
@@ -524,7 +578,10 @@ def _trace_to(
         if entry is None:
             break
         current, transition = entry
-        trace.append(transition)
+        if isinstance(transition, MacroTransition):
+            trace.extend(reversed(transition.micro))
+        else:
+            trace.append(transition)
     trace.reverse()
     return tuple(trace)
 

@@ -17,7 +17,8 @@ degrade) and on the output shape.
 Flag semantics, shared by all entry points:
 
 * ``dpor`` takes precedence over ``por`` (the dynamic reducer subsumes
-  the static one); ``symmetry`` composes with either.
+  the static one); ``symmetry`` composes with either; ``atomic``
+  (the regular-to-atomic lift) composes with any of them.
 * ``shard_workers > 1`` selects the sharded explorer, which runs the
   full fan-out on every shard — combining it with a reduction flag is
   rejected rather than silently ignored.
@@ -43,6 +44,7 @@ def run_exploration(
     por: bool = False,
     dpor: bool = False,
     symmetry: bool = False,
+    atomic: bool = False,
     shard_workers: int = 0,
     compiled: bool = True,
     invariants: dict[str, Callable] | None = None,
@@ -56,12 +58,13 @@ def run_exploration(
     """
     workers = int(shard_workers or 0)
     if workers > 1:
-        if por or dpor or symmetry:
+        if por or dpor or symmetry or atomic:
             raise ArmadaError(
                 "sharded exploration partitions the full fan-out across "
-                "shards and cannot compose with --por/--dpor/--symmetry "
-                "(per-shard reductions would prune against an incomplete "
-                "seen set); drop the reduction flags or --shard-workers"
+                "shards and cannot compose with --por/--dpor/--symmetry/"
+                "--atomic (per-shard reductions would prune against an "
+                "incomplete seen set); drop the reduction flags or "
+                "--shard-workers"
             )
         from repro.explore.sharded import ShardedExplorer
 
@@ -74,7 +77,7 @@ def run_exploration(
 
     explorer = Explorer(
         machine, max_states=max_states, por=por, dpor=dpor,
-        symmetry=symmetry, compiled=compiled,
+        symmetry=symmetry, atomic=atomic, compiled=compiled,
     )
     return explorer.explore(invariants), explorer.reductions_disabled
 
@@ -114,6 +117,10 @@ def exploration_summary(
         ],
         "hit_state_budget": result.hit_state_budget,
         "reductions_disabled": reductions_disabled,
+        "atomic": {
+            "chains": result.atomic_stats.chains,
+            "micro_absorbed": result.atomic_stats.micro_absorbed,
+        } if getattr(result, "atomic_stats", None) is not None else None,
         "por": (
             None if stats is None else {
                 "ample_states": stats.ample_states,
@@ -135,6 +142,7 @@ def exploration_job(
     por: bool = False,
     dpor: bool = False,
     symmetry: bool = False,
+    atomic: bool = False,
     shard_workers: int = 0,
     compiled: bool = True,
     invariants: dict[str, Callable] | None = None,
@@ -155,6 +163,7 @@ def exploration_job(
             por=por,
             dpor=dpor,
             symmetry=symmetry,
+            atomic=atomic,
             shard_workers=shard_workers,
             compiled=compiled,
             invariants=invariants,
@@ -172,6 +181,8 @@ def exploration_job(
         else "symmetry" if symmetry
         else "full"
     )
+    if atomic and int(shard_workers or 0) <= 1:
+        mode = "atomic" if mode == "full" else f"atomic+{mode}"
     return Job(
         key=structural_hash(
             "exploration", level, mode, str(max_states), str(compiled)

@@ -159,6 +159,7 @@ class ProofEngine:
         outcome_cache: "object | None" = None,
         memory_model: str | None = None,
         compiled: bool = True,
+        atomic: bool = False,
     ) -> None:
         """``validate_refinement``: ``"always"`` runs the whole-program
         bounded simulation check for every pair, ``"auto"`` only when a
@@ -200,6 +201,16 @@ class ProofEngine:
         every cache fingerprint — level fingerprints, job fingerprints
         and proof keys all change with the model, so a verdict obtained
         under one model is never replayed for another.
+
+        ``atomic``: apply the regular-to-atomic transformation
+        (:mod:`repro.strategies.regular_to_atomic`).  Obligation state
+        sweeps run under the atomic lift (hidden states agree with
+        their chain end on all shared state), and each generated
+        script's consecutive statement lemmas along non-breaking runs
+        collapse into single atomic-block obligations — the same
+        checks run, but the farm schedules strictly fewer jobs.  Part
+        of the cache fingerprint; self-disables per level when the
+        classification is unavailable (C11 RA).
         """
         from repro.memmodel import get_model
 
@@ -217,6 +228,7 @@ class ProofEngine:
         # interpreter, so deliberately NOT part of any cache
         # fingerprint.
         self.compiled = compiled
+        self.atomic = atomic
         self.outcome_cache = outcome_cache
         self._level_fingerprints: dict[str, str] = {}
         self._machines: dict[str, StateMachine] = {}
@@ -339,6 +351,7 @@ class ProofEngine:
                 max_states=self.max_states,
                 por=self.por,
                 compiled=self.compiled,
+                atomic=self.atomic,
             )
             self._requests.append(request)
             if self.analyze:
@@ -350,6 +363,8 @@ class ProofEngine:
                           proof=proof.name):
                 script = strategy.generate(request)
             self._apply_directives(proof, request, script)
+            if self.atomic:
+                self._collapse_atomic(proof, request, script)
             prep.script = script
             if OBS.enabled:
                 OBS.count("engine.lemmas_generated", len(script.lemmas))
@@ -367,6 +382,25 @@ class ProofEngine:
         prep.prepare_seconds = time.perf_counter() - started
         return prep
 
+    def _collapse_atomic(self, proof, request, script) -> None:
+        """Merge consecutive statement obligations along non-breaking
+        pc runs into single atomic-block lemmas (regular-to-atomic,
+        sec. 4.2.2).  Runs *after* ``_apply_directives`` so recipe
+        ``lemma`` directives still see the original names; the merged
+        lemma carries every member's customization.  A no-op when the
+        level's classification is unavailable (e.g. under C11 RA)."""
+        from repro.explore.atomic import classify_atomic
+        from repro.strategies.regular_to_atomic import (
+            collapse_proof_script,
+        )
+
+        classification = classify_atomic(self.machine(proof.low_level))
+        if not classification.enabled:
+            return
+        absorbed = collapse_proof_script(script, classification)
+        if OBS.enabled and absorbed:
+            OBS.count("atomic.lemmas_collapsed", absorbed)
+
     def _job_fingerprint(self) -> str:
         """Everything beyond lemma content that can change a verdict."""
         domains = self.domains
@@ -383,6 +417,7 @@ class ProofEngine:
         return (
             f"{self.prover.fingerprint()}|max_states={self.max_states}"
             f"|por={self.por if isinstance(self.por, str) else ('on' if self.por else 'off')}"
+            f"|atomic={'on' if self.atomic else 'off'}"
             f"|mm={self.memory_model}|{domain_part}"
         )
 
@@ -789,6 +824,7 @@ def verify_source(
     analyze: bool = False,
     por: bool = False,
     memory_model: str | None = None,
+    atomic: bool = False,
 ) -> ChainOutcome:
     """Parse, check, and verify a complete Armada program text."""
     checked = check_program(source, filename)
@@ -796,6 +832,6 @@ def verify_source(
         checked, max_states=max_states,
         validate_refinement=validate_refinement,
         farm=farm, analyze=analyze, por=por,
-        memory_model=memory_model,
+        memory_model=memory_model, atomic=atomic,
     )
     return engine.run_all()

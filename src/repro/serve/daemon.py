@@ -313,6 +313,7 @@ class ArmadaDaemon:
             outcome_cache=self.outcomes,
             memory_model=options.get("memory_model"),
             compiled=bool(options.get("compiled", True)),
+            atomic=bool(options.get("atomic", False)),
         )
         fingerprints = engine.level_fingerprints()
         diff = self.index.diff(job.name, fingerprints)
@@ -420,6 +421,7 @@ class ArmadaDaemon:
             and shard_workers <= 1,
             dpor=dpor,
             symmetry=bool(options.get("symmetry", False)),
+            atomic=bool(options.get("atomic", False)),
             shard_workers=shard_workers,
             compiled=bool(options.get("compiled", True)),
         )

@@ -63,6 +63,16 @@ class ProofRequest:
     #: state sweeps.  Bit-identical to the interpreter; off only for
     #: debugging or timing comparisons.
     compiled: bool = True
+    #: Run obligation state sweeps under the regular-to-atomic lift
+    #: (:mod:`repro.explore.atomic`).  Hidden states agree with their
+    #: chain end on all shared state (memory, ghosts, buffers, logs),
+    #: so invariant-style obligations are unaffected; obligations
+    #: quantifying over a single thread's *private* registers at a
+    #: non-breaking pc see only atomic-visible states (documented
+    #: approximation, mirrors ``por``).  Self-disables per machine when
+    #: classification is unavailable (e.g. C11 RA).  Part of the
+    #: proof-cache fingerprint.
+    atomic: bool = False
     _reachable_cache: dict = field(default_factory=dict)
     _reducers: dict = field(default_factory=dict)
 
@@ -99,7 +109,7 @@ class ProofRequest:
             states = list(
                 Explorer(
                     machine, self.max_states, por=self._por_for(machine),
-                    compiled=self.compiled,
+                    compiled=self.compiled, atomic=self.atomic,
                 ).reachable_states()
             )
             self._reachable_cache[key] = states

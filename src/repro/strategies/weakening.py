@@ -83,6 +83,7 @@ class WeakeningStrategy(Strategy):
                     ),
                     body=self._lemma_body(low, high, plan),
                     obligation=plan.obligation,
+                    pc=low.pc,
                 )
                 if plan.kind == "global":
                     script.global_checks.append(
@@ -207,6 +208,7 @@ class WeakeningStrategy(Strategy):
                 "// reversed assignments reach the same state (sec. 6.2)",
             ],
             obligation=obligation,
+            pc=first.pc,
         )
 
     def _check_nondet_usage(self, used_nondet: bool) -> None:

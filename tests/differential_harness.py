@@ -1,0 +1,134 @@
+"""Shared harness for differential exploration sweeps.
+
+Every reduction the explorer offers — static ample-set POR, dynamic
+POR + sleep sets, thread-symmetry, hash-sharded partitioning, and the
+regular-to-atomic lift — must be *observationally invisible*.  This
+module holds the machinery the differential suites
+(:mod:`tests.test_reduction_differential`,
+:mod:`tests.test_fuzz_differential`) share: the mode dispatcher, the
+verdict projection each mode must preserve bit-for-bit, the
+trace-replay check, and a memo of checked programs / machines / full
+fan-out baselines so each (program, model) baseline is explored once
+per module, not once per comparison.
+"""
+
+from repro.casestudies import ALL, load
+from repro.explore import Explorer, ShardedExplorer, canonical_replay
+from repro.lang.frontend import check_level, check_program
+from repro.machine.state import TERM_UB
+from repro.machine.translator import translate_level
+
+from tests.test_por import LITMUS, STUDY_BUDGETS
+
+#: The reduced / partitioned modes, each compared against "full".
+REDUCED_MODES = (
+    "por", "dpor", "dpor+symmetry", "sharded2", "atomic", "atomic+dpor",
+)
+
+#: Explorer keyword arguments per non-sharded mode.
+MODE_KWARGS = {
+    "full": {},
+    "por": {"por": True},
+    "dpor": {"dpor": True},
+    "dpor+symmetry": {"dpor": True, "symmetry": True},
+    "atomic": {"atomic": True},
+    "atomic+dpor": {"atomic": True, "dpor": True},
+}
+
+
+def case_rows():
+    """Every level of every case study, as (id, study, level) rows."""
+    rows = []
+    for name in sorted(ALL):
+        study = load(name)
+        checked = check_program(study.source, f"<{name}>")
+        for level in checked.program.levels:
+            rows.append((f"{name}/{level.name}", name, level.name))
+    return rows
+
+
+def explore_mode(machine, budget, mode, invariants=None):
+    """Explore *machine* under one named mode of the sweep."""
+    if mode == "sharded2":
+        return ShardedExplorer(
+            machine, workers=2, max_states=budget
+        ).explore(invariants)
+    return Explorer(
+        machine, budget, **MODE_KWARGS[mode]
+    ).explore(invariants)
+
+
+def verdict(result):
+    """Everything a reduction must preserve exactly.  UB reasons
+    compare as a set: a reduction may reach the same UB through fewer
+    distinct states, but never report a reason the full sweep lacks
+    (or miss one it has)."""
+    return (
+        frozenset(result.final_outcomes),
+        frozenset(result.ub_reasons),
+        bool(result.assert_failures),
+        sorted({v.invariant_name for v in result.violations}),
+        result.hit_state_budget,
+    )
+
+
+def assert_traces_replay(machine, result):
+    """Every counterexample trace must replay on a fresh unreduced
+    machine to the outcome it claims.  Macro transitions recorded by
+    the atomic lift are flattened into micro steps before they reach a
+    trace, so the same replay covers every mode."""
+    for reason, trace in zip(result.ub_reasons, result.ub_traces):
+        final = canonical_replay(machine, trace)
+        assert final.termination is not None
+        assert final.termination.kind == TERM_UB
+        assert final.termination.detail == reason
+    for violation in result.violations:
+        # Invariant predicates are re-checked by the caller (they need
+        # the predicate, not just the trace); here we only require the
+        # trace to be structurally replayable.
+        canonical_replay(machine, violation.trace)
+
+
+class Sweep:
+    """Shared memo of checked programs, machines, and full baselines."""
+
+    def __init__(self):
+        self._checked = {}
+        self._machines = {}
+        self._full = {}
+
+    def checked(self, study):
+        if study not in self._checked:
+            source = load(study).source
+            self._checked[study] = check_program(source, f"<{study}>")
+        return self._checked[study]
+
+    def case_machine(self, study, level, model):
+        key = (study, level, model)
+        if key not in self._machines:
+            ctx = self.checked(study).contexts[level]
+            self._machines[key] = translate_level(ctx, memory_model=model)
+        return self._machines[key]
+
+    def litmus_machine(self, name, model):
+        key = ("litmus", name, model)
+        if key not in self._machines:
+            ctx = check_level("level L { " + LITMUS[name] + " }")
+            self._machines[key] = translate_level(ctx, memory_model=model)
+        return self._machines[key]
+
+    def full_case(self, study, level, model):
+        key = (study, level, model)
+        if key not in self._full:
+            machine = self.case_machine(study, level, model)
+            self._full[key] = explore_mode(
+                machine, STUDY_BUDGETS[study], "full"
+            )
+        return self._full[key]
+
+    def full_litmus(self, name, model):
+        key = ("litmus", name, model)
+        if key not in self._full:
+            machine = self.litmus_machine(name, model)
+            self._full[key] = explore_mode(machine, 2_000_000, "full")
+        return self._full[key]

@@ -42,10 +42,11 @@ class TestJsonSchemas:
         assert main(["explore", toy_file, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert sorted(payload) == [
-            "hit_state_budget", "level", "memory_model", "outcomes",
-            "por", "reductions_disabled", "states", "transitions",
-            "ub", "violations",
+            "atomic", "hit_state_budget", "level", "memory_model",
+            "outcomes", "por", "reductions_disabled", "states",
+            "transitions", "ub", "violations",
         ]
+        assert payload["atomic"] is None
         assert payload["memory_model"] == "tso"
         assert payload["level"] == "L"
         assert payload["states"] > 0

@@ -17,9 +17,14 @@ final stores:
   a compiled execution must land on one the explorer enumerated, and
   POR-on/POR-off explorations must enumerate the *same* outcome set;
 * the whole reduction stack — dynamic POR + sleep sets, thread
-  symmetry, and hash-sharded two-worker partitioning — agrees with the
-  full fan-out on every random machine, and counterexample traces
-  found under reduction replay on a fresh unreduced machine.
+  symmetry, hash-sharded two-worker partitioning, and the
+  regular-to-atomic lift — agrees with the full fan-out on every
+  random machine, and counterexample traces found under reduction
+  replay on a fresh unreduced machine (macro transitions recorded by
+  the atomic lift arrive pre-expanded into their micro steps);
+* random race-free programs *verify* identically with and without
+  ``--atomic``: the engine-side lemma collapse changes farm job
+  counts, never verdicts.
 
 ``derandomize=True`` keeps CI deterministic: the same ≥50 programs run
 every time, and any divergence reproduces locally from the printed
@@ -292,6 +297,77 @@ def test_reduced_counterexample_traces_replay_unreduced(source):
     check(
         ShardedExplorer(machine, workers=2, max_states=60_000).explore()
     )
+
+
+@settings(max_examples=10, derandomize=True, deadline=None)
+@given(source=_two_thread_program())
+def test_atomic_lift_preserves_outcome_set(source):
+    """The regular-to-atomic lift, alone and composed with dynamic
+    POR, agrees with the full fan-out on outcomes, UB and assertion
+    presence — while only ever hiding states, never adding them."""
+    full = _explore(source, por=False)
+    for kwargs in ({"atomic": True}, {"atomic": True, "dpor": True}):
+        machine = translate_level(check_level(source))
+        reduced = Explorer(machine, 60_000, **kwargs).explore()
+        assert not reduced.hit_state_budget, source
+        assert _outcome_set(full) == _outcome_set(reduced), \
+            (kwargs, source)
+        assert set(full.ub_reasons) == set(reduced.ub_reasons), \
+            (kwargs, source)
+        assert bool(full.assert_failures) == \
+            bool(reduced.assert_failures), (kwargs, source)
+        assert reduced.states_visited <= full.states_visited, \
+            (kwargs, source)
+
+
+@settings(max_examples=8, derandomize=True, deadline=None)
+@given(source=_racy_div_program())
+def test_atomic_counterexample_traces_expand_and_replay(source):
+    """A counterexample found under the atomic lift arrives as plain
+    micro transitions (macro steps are flattened before they reach a
+    trace) and replays on a fresh unreduced machine to the same
+    violating state."""
+    from repro.explore import canonical_replay
+    from repro.explore.atomic import MacroTransition
+    from repro.machine.state import TERM_UB
+
+    full = _explore(source, por=False)
+    assert full.has_ub, source
+    for kwargs in ({"atomic": True}, {"atomic": True, "dpor": True}):
+        machine = translate_level(check_level(source))
+        result = Explorer(machine, 60_000, **kwargs).explore()
+        assert set(result.ub_reasons) == set(full.ub_reasons), \
+            (kwargs, source)
+        for reason, trace in zip(result.ub_reasons, result.ub_traces):
+            assert not any(
+                isinstance(t, MacroTransition) for t in trace
+            ), source
+            fresh = translate_level(check_level(source))
+            final = canonical_replay(fresh, trace)
+            assert final.termination is not None, source
+            assert final.termination.kind == TERM_UB, source
+            assert final.termination.detail == reason, source
+
+
+@settings(max_examples=6, derandomize=True, deadline=None)
+@given(source=_two_thread_program())
+def test_race_free_programs_verify_identically_with_atomic(source):
+    """Engine-level differential: a race-free program's self-refinement
+    verifies to the identical outcome with and without ``--atomic`` —
+    the collapse merges farm obligations but cannot flip a verdict."""
+    from repro.proofs.engine import verify_source
+
+    program = (
+        source.replace("level L ", "level Low ", 1) + "\n"
+        + source.replace("level L ", "level High ", 1) + "\n"
+        + "proof P { refinement Low High weakening }"
+    )
+    baseline = verify_source(program)
+    collapsed = verify_source(program, atomic=True)
+    assert baseline.success == collapsed.success, source
+    assert baseline.end_to_end == collapsed.end_to_end, source
+    assert [o.success for o in baseline.outcomes] == \
+        [o.success for o in collapsed.outcomes], source
 
 
 @settings(max_examples=15, derandomize=True, deadline=None)

@@ -398,10 +398,71 @@ class TestRegistry:
         assert not outcome.success
         assert "unknown proof strategy" in outcome.error
 
-    def test_all_eight_strategies_registered(self):
+    def test_all_nine_strategies_registered(self):
         from repro.strategies.registry import available_strategies
 
         assert set(available_strategies()) >= {
             "weakening", "nondet_weakening", "tso_elim", "reduction",
             "assume_intro", "combining", "var_intro", "var_hiding",
+            "regular_to_atomic",
         }
+
+
+class TestJobFingerprints:
+    """Cache-collision regression fence.
+
+    Every engine option that can change a verdict must be part of
+    ``_job_fingerprint()``: PR 7's model-replay bug was exactly a
+    missing dimension (verdicts cached under one memory model replayed
+    under another).  This matrix enumerates the verdict-bearing
+    configuration axes — POR mode × memory model × atomic — and
+    requires every combination to fingerprint distinctly, so adding an
+    axis without fingerprinting it fails here, not in a user's cache.
+    """
+
+    @staticmethod
+    def _engine(**kwargs):
+        from repro.lang.frontend import check_program
+        from repro.proofs.engine import ProofEngine
+
+        checked = check_program(
+            "level L { var x: uint32; void main() { x := 1; } }"
+        )
+        return ProofEngine(checked, **kwargs)
+
+    def test_every_option_combination_is_distinct(self):
+        fingerprints = {}
+        for por in (False, True, "dynamic"):
+            for memory_model in ("sc", "tso", "ra"):
+                for atomic in (False, True):
+                    engine = self._engine(
+                        por=por, memory_model=memory_model,
+                        atomic=atomic,
+                    )
+                    key = (por, memory_model, atomic)
+                    fingerprints[key] = engine._job_fingerprint()
+        assert len(set(fingerprints.values())) == len(fingerprints), (
+            "job fingerprints collide across verdict-bearing options"
+        )
+
+    def test_max_states_is_fingerprinted(self):
+        a = self._engine(max_states=100)._job_fingerprint()
+        b = self._engine(max_states=200)._job_fingerprint()
+        assert a != b
+
+    def test_compiled_is_deliberately_not_fingerprinted(self):
+        """The compiled stepper is bit-identical to the interpreter, so
+        toggling it must NOT invalidate the cache — a deliberate
+        exception to the matrix above."""
+        a = self._engine(compiled=True)._job_fingerprint()
+        b = self._engine(compiled=False)._job_fingerprint()
+        assert a == b
+
+    def test_proof_key_inherits_the_atomic_dimension(self):
+        """The outcome-cache key must separate atomic from non-atomic
+        runs: collapsed scripts discharge different obligation sets."""
+        base = self._engine(atomic=False)
+        lifted = self._engine(atomic=True)
+        assert base._job_fingerprint() != lifted._job_fingerprint()
+        assert "atomic=off" in base._job_fingerprint()
+        assert "atomic=on" in lifted._job_fingerprint()
